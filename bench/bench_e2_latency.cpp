@@ -1,0 +1,42 @@
+// E2 — ordered-delivery latency vs group size: FTMP's symmetric
+// timestamp ordering against the §8 baselines (fixed sequencer, token
+// ring) on an identical simulated LAN at moderate load.
+//
+// Expected shape: the sequencer has the lowest small-group latency (one
+// extra hop to order); FTMP tracks it within a heartbeat interval and
+// scales symmetrically; token-ring latency grows with ring size because a
+// sender waits for the token.
+#include <cstdio>
+
+#include "support.hpp"
+
+using namespace ftcorba;
+using namespace ftcorba::bench;
+
+int main() {
+  banner("E2", "totally-ordered delivery latency vs group size (simulated ms)");
+
+  net::LinkModel lan;  // defaults: 100us delay, 20us jitter, no loss
+  ftmp::Config cfg;
+  cfg.heartbeat_interval = 5 * kMillisecond;
+
+  const double rate = 50.0;  // msgs/s per member
+  const Duration duration = 4 * kSecond;
+
+  std::printf("%4s | %-10s | %9s | %9s | %9s | %11s\n", "n", "protocol",
+              "mean ms", "p50 ms", "p99 ms", "packets/msg");
+  std::printf("-----+------------+-----------+-----------+-----------+------------\n");
+  for (int n : {2, 4, 6, 8, 12, 16}) {
+    for (Protocol proto : {Protocol::kFtmp, Protocol::kSequencer, Protocol::kTokenRing}) {
+      const WorkloadResult r =
+          run_protocol(proto, n, cfg, lan, /*seed=*/100 + n, rate, duration, 64);
+      std::printf("%4d | %-10s | %9.3f | %9.3f | %9.3f | %11.1f%s\n", n,
+                  to_string(proto), r.latency_ms.mean(), r.latency_ms.median(),
+                  r.latency_ms.percentile(99), r.packets_per_msg(),
+                  r.delivery_ratio(std::size_t(n)) < 0.999 ? "  [INCOMPLETE]" : "");
+    }
+    std::printf("-----+------------+-----------+-----------+-----------+------------\n");
+  }
+  std::printf("load: %.0f msgs/s/member, 64 B payloads, LAN 100us delay.\n", rate);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark): wall-clock cost of the hot codec
+// paths — FTMP message encode/decode, GIOP encode/decode, CDR marshaling —
+// the per-message CPU overhead a deployment pays on top of the network.
+#include <benchmark/benchmark.h>
+
+#include "ftmp/messages.hpp"
+#include "giop/messages.hpp"
+
+using namespace ftcorba;
+
+namespace {
+
+ftmp::Message make_regular(std::size_t payload_size) {
+  ftmp::Message m;
+  m.header.type = ftmp::MessageType::kRegular;
+  m.header.source = ProcessorId{1};
+  m.header.destination_group = ProcessorGroupId{1};
+  m.header.sequence_number = 12345;
+  m.header.message_timestamp = 67890;
+  m.header.ack_timestamp = 67000;
+  ftmp::RegularBody body;
+  body.connection = ConnectionId{FtDomainId{1}, ObjectGroupId{2}, FtDomainId{3}, ObjectGroupId{4}};
+  body.request_num = 42;
+  body.giop_message = Bytes(payload_size, 0xAB);
+  m.body = std::move(body);
+  return m;
+}
+
+giop::GiopMessage make_request(std::size_t payload_size) {
+  giop::Request r;
+  r.request_id = 7;
+  r.object_key = bytes_of("account:alice");
+  r.operation = "deposit";
+  r.body = Bytes(payload_size, 0xCD);
+  return {giop::GiopHeader{}, std::move(r)};
+}
+
+void BM_FtmpEncode(benchmark::State& state) {
+  const ftmp::Message m = make_regular(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftmp::encode_message(m));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FtmpEncode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_FtmpDecode(benchmark::State& state) {
+  const Bytes wire = ftmp::encode_message(make_regular(std::size_t(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftmp::decode_message(wire));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FtmpDecode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_FtmpHeaderDecode(benchmark::State& state) {
+  Writer w;
+  ftmp::Header h;
+  h.type = ftmp::MessageType::kHeartbeat;
+  ftmp::encode_header(w, h);
+  const Bytes wire = w.bytes();
+  for (auto _ : state) {
+    Reader r(wire);
+    benchmark::DoNotOptimize(ftmp::decode_header(r));
+  }
+}
+BENCHMARK(BM_FtmpHeaderDecode);
+
+void BM_GiopEncode(benchmark::State& state) {
+  const giop::GiopMessage m = make_request(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(giop::encode(m));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_GiopEncode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_GiopDecode(benchmark::State& state) {
+  const Bytes wire = giop::encode(make_request(std::size_t(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(giop::decode(wire));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_GiopDecode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_CdrMarshalMixed(benchmark::State& state) {
+  for (auto _ : state) {
+    giop::CdrWriter w;
+    w.string("operation-name");
+    w.ulong_(123456);
+    w.double_(3.14159);
+    for (int i = 0; i < 8; ++i) w.longlong_(i * 1000);
+    benchmark::DoNotOptimize(w.bytes());
+  }
+}
+BENCHMARK(BM_CdrMarshalMixed);
+
+void BM_CdrUnmarshalMixed(benchmark::State& state) {
+  giop::CdrWriter w;
+  w.string("operation-name");
+  w.ulong_(123456);
+  w.double_(3.14159);
+  for (int i = 0; i < 8; ++i) w.longlong_(i * 1000);
+  const Bytes wire = w.bytes();
+  for (auto _ : state) {
+    giop::CdrReader r(wire);
+    benchmark::DoNotOptimize(r.string());
+    benchmark::DoNotOptimize(r.ulong_());
+    benchmark::DoNotOptimize(r.double_());
+    std::int64_t acc = 0;
+    for (int i = 0; i < 8; ++i) acc += r.longlong_();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CdrUnmarshalMixed);
+
+}  // namespace
+
+BENCHMARK_MAIN();

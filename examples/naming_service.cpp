@@ -1,0 +1,213 @@
+// naming_service — a replicated CORBA-style Naming Service over FTMP:
+// clients bind stringified object references (FTIOR:...) under names and
+// resolve them later; the registry itself is an actively replicated object,
+// so it survives the crash of a registry replica. A resolved reference is
+// then used to reach a second replicated object (a greeter), showing the
+// whole reference-passing loop.
+//
+//   $ ./naming_service
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ft/replication.hpp"
+#include "ftmp/sim_harness.hpp"
+#include "orb/ior.hpp"
+#include "orb/orb.hpp"
+
+using namespace ftcorba;
+
+namespace {
+
+const FtDomainId kClientDomain{1};
+const FtDomainId kServerDomain{2};
+const McastAddress kClientDomainAddr{100};
+const McastAddress kServerDomainAddr{101};
+const ProcessorGroupId kServerGroup{1};
+const McastAddress kServerGroupAddr{200};
+const orb::ObjectKey kNamingKey{"NameService"};
+const orb::ObjectKey kGreeterKey{"greeter"};
+
+ConnectionId service_conn() {
+  return ConnectionId{kClientDomain, ObjectGroupId{10}, kServerDomain, ObjectGroupId{20}};
+}
+
+/// bind(name, ior) / resolve(name) -> ior / list() -> count, names.
+class NameRegistry : public ft::StateMachine {
+ public:
+  giop::ReplyStatus apply(const std::string& operation, giop::CdrReader& in,
+                          giop::CdrWriter& out) override {
+    if (operation == "bind") {
+      const std::string name = in.string();
+      const std::string ior = in.string();
+      names_[name] = ior;
+      out.boolean(true);
+      return giop::ReplyStatus::kNoException;
+    }
+    if (operation == "resolve") {
+      const std::string name = in.string();
+      auto it = names_.find(name);
+      if (it == names_.end()) {
+        out.string("NotFound: " + name);
+        return giop::ReplyStatus::kUserException;
+      }
+      out.string(it->second);
+      return giop::ReplyStatus::kNoException;
+    }
+    if (operation == "list") {
+      out.ulong_(static_cast<std::uint32_t>(names_.size()));
+      for (const auto& [name, ior] : names_) out.string(name);
+      return giop::ReplyStatus::kNoException;
+    }
+    out.string("unknown operation");
+    return giop::ReplyStatus::kUserException;
+  }
+  Bytes snapshot() const override {
+    giop::CdrWriter w;
+    w.ulong_(static_cast<std::uint32_t>(names_.size()));
+    for (const auto& [name, ior] : names_) {
+      w.string(name);
+      w.string(ior);
+    }
+    return w.bytes();
+  }
+  void restore(BytesView s) override {
+    names_.clear();
+    giop::CdrReader r(s);
+    const std::uint32_t n = r.ulong_();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::string name = r.string();
+      names_[name] = r.string();
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> names_;
+};
+
+/// greet(who) -> string.
+class Greeter : public ft::StateMachine {
+ public:
+  giop::ReplyStatus apply(const std::string& operation, giop::CdrReader& in,
+                          giop::CdrWriter& out) override {
+    if (operation == "greet") {
+      out.string("hello, " + in.string() + "! (from the replicated greeter)");
+      return giop::ReplyStatus::kNoException;
+    }
+    out.string("unknown operation");
+    return giop::ReplyStatus::kUserException;
+  }
+  Bytes snapshot() const override { return {}; }
+  void restore(BytesView) override {}
+};
+
+}  // namespace
+
+int main() {
+  ftmp::SimHarness sim({}, /*seed=*/321);
+  const std::vector<ProcessorId> servers{ProcessorId{1}, ProcessorId{2}, ProcessorId{3}};
+  const std::vector<ProcessorId> clients{ProcessorId{10}};
+  std::map<ProcessorId, std::unique_ptr<orb::Orb>> orbs;
+
+  for (ProcessorId p : servers) sim.add_processor(p, kServerDomain, kServerDomainAddr);
+  for (ProcessorId p : clients) sim.add_processor(p, kClientDomain, kClientDomainAddr);
+  for (ProcessorId p : servers) {
+    sim.stack(p).create_group(sim.now(), kServerGroup, kServerGroupAddr, servers);
+    sim.stack(p).serve_connections(kServerGroup);
+  }
+  for (ProcessorId p : sim.processors()) {
+    orbs[p] = std::make_unique<orb::Orb>(sim.stack(p));
+    orb::Orb* o = orbs[p].get();
+    sim.set_event_handler(p, [o](TimePoint t, const ftmp::Event& ev) { o->on_event(t, ev); });
+  }
+  // Both services live on the same server group (connection sharing, §7).
+  for (ProcessorId p : servers) {
+    orbs[p]->activate(kNamingKey,
+                      std::make_shared<ft::ActiveReplica>(std::make_shared<NameRegistry>()));
+    orbs[p]->activate(kGreeterKey,
+                      std::make_shared<ft::ActiveReplica>(std::make_shared<Greeter>()));
+  }
+
+  sim.stack(clients[0]).open_connection(sim.now(), service_conn(), kServerDomainAddr,
+                                        clients);
+  sim.run_until_pred(
+      [&] { return sim.stack(clients[0]).connection_ready(service_conn()); },
+      sim.now() + 5 * kSecond);
+
+  auto call = [&](const orb::ObjectKey& key, const std::string& op,
+                  const giop::CdrWriter& args) {
+    std::string out_string;
+    bool ok = false, done = false;
+    orbs[clients[0]]->invoke(sim.now(), service_conn(), key, op, args,
+                             [&](const giop::Reply& reply, ByteOrder order) {
+                               giop::CdrReader r(reply.body, order);
+                               ok = reply.status == giop::ReplyStatus::kNoException;
+                               if (op == "bind") {
+                                 (void)r.boolean();
+                                 out_string = "ok";
+                               } else {
+                                 out_string = r.string();
+                               }
+                               done = true;
+                             });
+    sim.run_until_pred([&] { return done; }, sim.now() + 5 * kSecond);
+    return std::make_pair(ok, out_string);
+  };
+
+  // Publish the greeter's reference under a name.
+  orb::GroupObjectRef greeter_ref{kServerDomain, ObjectGroupId{20}, kServerDomainAddr,
+                                  kGreeterKey};
+  const std::string greeter_ior = orb::to_ior(greeter_ref);
+  std::printf("binding 'services/greeter' -> %.48s...\n", greeter_ior.c_str());
+  giop::CdrWriter bind_args;
+  bind_args.string("services/greeter");
+  bind_args.string(greeter_ior);
+  auto [bind_ok, ignored] = call(kNamingKey, "bind", bind_args);
+  if (!bind_ok) {
+    std::printf("ERROR: bind failed\n");
+    return 1;
+  }
+
+  // A registry replica crashes; the naming service keeps answering.
+  std::printf("crashing registry replica %s...\n", to_string(servers[1]).c_str());
+  sim.crash(servers[1]);
+  sim.run_until_pred(
+      [&] {
+        auto* g = sim.stack(servers[0]).group(kServerGroup);
+        return g && !g->is_member(servers[1]);
+      },
+      sim.now() + 10 * kSecond);
+
+  giop::CdrWriter resolve_args;
+  resolve_args.string("services/greeter");
+  auto [resolve_ok, resolved_ior] = call(kNamingKey, "resolve", resolve_args);
+  if (!resolve_ok) {
+    std::printf("ERROR: resolve failed after crash\n");
+    return 1;
+  }
+  std::printf("resolved 'services/greeter' after the crash\n");
+
+  // Use the resolved reference to invoke the greeter.
+  auto parsed = orb::from_ior(resolved_ior);
+  if (!parsed || parsed->key != kGreeterKey) {
+    std::printf("ERROR: resolved reference did not parse back\n");
+    return 1;
+  }
+  giop::CdrWriter greet_args;
+  greet_args.string("world");
+  auto [greet_ok, greeting] = call(parsed->key, "greet", greet_args);
+  if (!greet_ok) {
+    std::printf("ERROR: greet failed\n");
+    return 1;
+  }
+  std::printf("greeter says: %s\n", greeting.c_str());
+
+  // Unknown names produce a clean user exception.
+  giop::CdrWriter missing_args;
+  missing_args.string("services/missing");
+  auto [missing_ok, error_text] = call(kNamingKey, "resolve", missing_args);
+  std::printf("resolving an unbound name -> %s (%s)\n",
+              missing_ok ? "unexpected success" : "user exception", error_text.c_str());
+  return missing_ok ? 1 : 0;
+}

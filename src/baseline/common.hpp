@@ -1,0 +1,46 @@
+// common.hpp — shared interface of the related-work total-order baselines
+// (§8): a sequencer-based protocol (Amoeba family) and a rotating-token
+// protocol (Totem family). Both run over the same SimNetwork as FTMP so
+// the E2/E9 benches compare algorithms, not substrates.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "net/packet.hpp"
+
+namespace ftcorba::baseline {
+
+/// One totally-ordered delivery at a node.
+struct Delivery {
+  ProcessorId source{};
+  std::uint64_t global_seq = 0;
+  Bytes payload;
+};
+
+/// Sans-IO endpoint of a total-order broadcast protocol. The driver feeds
+/// datagrams/ticks and drains packets/deliveries, exactly like the FTMP
+/// stack drivers.
+class TotalOrderNode {
+ public:
+  virtual ~TotalOrderNode() = default;
+
+  /// Queues one payload for totally-ordered broadcast to the group.
+  virtual void broadcast(TimePoint now, BytesView payload) = 0;
+
+  /// Feeds one received datagram.
+  virtual void on_datagram(TimePoint now, const net::Datagram& datagram) = 0;
+
+  /// Advances protocol timers.
+  virtual void tick(TimePoint now) = 0;
+
+  /// Drains datagrams to transmit.
+  [[nodiscard]] virtual std::vector<net::Datagram> take_packets() = 0;
+
+  /// Drains totally-ordered deliveries.
+  [[nodiscard]] virtual std::vector<Delivery> take_deliveries() = 0;
+};
+
+}  // namespace ftcorba::baseline

@@ -1,0 +1,62 @@
+#include "baseline/harness.hpp"
+
+namespace ftcorba::baseline {
+
+BaselineHarness::BaselineHarness(net::LinkModel link, std::uint64_t seed,
+                                 Duration granularity)
+    : net_(link, seed), granularity_(granularity), next_tick_(granularity) {}
+
+void BaselineHarness::add_node(ProcessorId id, McastAddress addr,
+                               std::unique_ptr<TotalOrderNode> node) {
+  net_.attach(id);
+  net_.subscribe(id, addr);
+  nodes_.emplace(id, std::move(node));
+  delivered_.emplace(id, std::vector<TimedDelivery>{});
+  flush(id);
+}
+
+void BaselineHarness::broadcast(ProcessorId id, BytesView payload) {
+  nodes_.at(id)->broadcast(now_, payload);
+  flush(id);
+}
+
+void BaselineHarness::flush(ProcessorId id) {
+  TotalOrderNode& n = *nodes_.at(id);
+  for (net::Datagram& d : n.take_packets()) {
+    net_.send(now_, id, d);
+  }
+  auto& sink = delivered_.at(id);
+  for (Delivery& d : n.take_deliveries()) {
+    sink.push_back(TimedDelivery{now_, std::move(d)});
+  }
+}
+
+void BaselineHarness::run_until(TimePoint t) {
+  while (now_ < t) {
+    const auto next_delivery = net_.next_delivery_time();
+    TimePoint step = std::min<TimePoint>(t, next_tick_);
+    if (next_delivery && *next_delivery < step) step = *next_delivery;
+    now_ = std::max(now_, step);
+
+    while (auto d = net_.pop_due(now_)) {
+      auto it = nodes_.find(d->dest);
+      if (it == nodes_.end()) continue;
+      it->second->on_datagram(now_, d->datagram);
+      flush(d->dest);
+    }
+    if (now_ >= next_tick_) {
+      for (auto& [id, n] : nodes_) {
+        n->tick(now_);
+        flush(id);
+      }
+      next_tick_ += granularity_;
+    }
+  }
+  now_ = t;
+}
+
+void BaselineHarness::clear_deliveries() {
+  for (auto& [id, v] : delivered_) v.clear();
+}
+
+}  // namespace ftcorba::baseline

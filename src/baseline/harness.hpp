@@ -1,0 +1,59 @@
+// harness.hpp — discrete-event driver for TotalOrderNode baselines over the
+// same SimNetwork the FTMP stacks use (apples-to-apples benches).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "baseline/common.hpp"
+#include "common/clock.hpp"
+#include "net/sim_network.hpp"
+
+namespace ftcorba::baseline {
+
+/// A timestamped delivery, as accumulated by the harness.
+struct TimedDelivery {
+  TimePoint at{};
+  Delivery delivery;
+};
+
+/// Drives a set of baseline nodes over a simulated network.
+class BaselineHarness {
+ public:
+  explicit BaselineHarness(net::LinkModel link = {}, std::uint64_t seed = 1,
+                           Duration granularity = 1 * kMillisecond);
+
+  /// Registers a node; the harness subscribes it to `addr`.
+  void add_node(ProcessorId id, McastAddress addr, std::unique_ptr<TotalOrderNode> node);
+
+  /// The node (for broadcast calls and stats).
+  [[nodiscard]] TotalOrderNode& node(ProcessorId id) { return *nodes_.at(id); }
+
+  [[nodiscard]] net::SimNetwork& network() { return net_; }
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Broadcasts a payload from `id` at the current time.
+  void broadcast(ProcessorId id, BytesView payload);
+
+  void run_until(TimePoint t);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Deliveries accumulated at a node, in delivery order.
+  [[nodiscard]] const std::vector<TimedDelivery>& delivered(ProcessorId id) const {
+    return delivered_.at(id);
+  }
+
+  void clear_deliveries();
+
+ private:
+  void flush(ProcessorId id);
+
+  net::SimNetwork net_;
+  Duration granularity_;
+  TimePoint now_ = 0;
+  TimePoint next_tick_;
+  std::map<ProcessorId, std::unique_ptr<TotalOrderNode>> nodes_;
+  std::map<ProcessorId, std::vector<TimedDelivery>> delivered_;
+};
+
+}  // namespace ftcorba::baseline

@@ -1,0 +1,34 @@
+// bytes.hpp — byte-buffer alias and small helpers shared by all codecs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ftcorba {
+
+/// An owned, contiguous byte buffer (wire payloads, datagrams).
+using Bytes = std::vector<std::uint8_t>;
+
+/// A non-owning view over bytes being decoded.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes buffer from a string literal / std::string payload.
+[[nodiscard]] inline Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Renders a byte buffer as lowercase hex, for diagnostics and golden tests.
+[[nodiscard]] inline std::string to_hex(BytesView b) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kHex[v >> 4]);
+    out.push_back(kHex[v & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace ftcorba

@@ -1,0 +1,187 @@
+// codec.hpp — bounds-checked binary writer/reader with selectable byte order.
+//
+// FTMP message bodies are encoded in the sender's native byte order; the
+// FTMP header carries a `byte order` flag (§3.2) so receivers can decode
+// either endianness. Writer/Reader therefore take the byte order at
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace ftcorba {
+
+/// Byte order of an encoded buffer. Matches the FTMP header flag:
+/// true == little endian in the header encoding.
+enum class ByteOrder : std::uint8_t { kBig = 0, kLittle = 1 };
+
+/// Returns this host's native byte order.
+[[nodiscard]] inline ByteOrder native_byte_order() {
+  const std::uint16_t probe = 1;
+  std::uint8_t first;
+  std::memcpy(&first, &probe, 1);
+  return first == 1 ? ByteOrder::kLittle : ByteOrder::kBig;
+}
+
+/// Thrown by Reader on truncated or malformed input. Protocol layers catch
+/// this at the datagram boundary and drop the datagram (never crash on a
+/// hostile/corrupt packet).
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width integers, byte blocks and length-prefixed strings to
+/// a growable buffer in the configured byte order.
+class Writer {
+ public:
+  explicit Writer(ByteOrder order = ByteOrder::kBig) : order_(order) {}
+
+  /// The byte order this writer encodes multi-byte integers in.
+  [[nodiscard]] ByteOrder order() const { return order_; }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_int(v); }
+  void u32(std::uint32_t v) { put_int(v); }
+  void u64(std::uint64_t v) { put_int(v); }
+  void i64(std::int64_t v) { put_int(static_cast<std::uint64_t>(v)); }
+
+  /// Raw bytes, no length prefix.
+  void raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  /// u32 length prefix followed by the bytes.
+  void blob(BytesView b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b);
+  }
+
+  /// u32 length prefix followed by UTF-8 bytes (no NUL terminator).
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Current encoded size in bytes.
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Overwrites a previously-written u32 at `offset` (e.g. to patch a
+  /// message-size field once the full body length is known).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    if (offset + 4 > buf_.size()) throw CodecError("patch_u32 out of range");
+    for (int i = 0; i < 4; ++i) buf_[offset + i] = byte_at(v, i);
+  }
+
+  /// Consumes the writer, returning the encoded buffer.
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+
+  /// Copies out the buffer (writer remains usable).
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+
+ private:
+  template <typename T>
+  void put_int(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) buf_.push_back(byte_at(v, i));
+  }
+  template <typename T>
+  [[nodiscard]] std::uint8_t byte_at(T v, std::size_t i) const {
+    const std::size_t shift =
+        order_ == ByteOrder::kBig ? (sizeof(T) - 1 - i) * 8 : i * 8;
+    return static_cast<std::uint8_t>((v >> shift) & 0xFF);
+  }
+
+  ByteOrder order_;
+  Bytes buf_;
+};
+
+/// Sequential bounds-checked decoder over a byte view. Throws CodecError on
+/// any out-of-range read.
+class Reader {
+ public:
+  explicit Reader(BytesView data, ByteOrder order = ByteOrder::kBig)
+      : data_(data), order_(order) {}
+
+  /// Switches decode byte order (used after reading the FTMP header flag).
+  void set_order(ByteOrder order) { order_ = order; }
+  [[nodiscard]] ByteOrder order() const { return order_; }
+
+  [[nodiscard]] std::uint8_t u8() { return take_byte(); }
+  [[nodiscard]] std::uint16_t u16() { return get_int<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return get_int<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return get_int<std::uint64_t>(); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(get_int<std::uint64_t>()); }
+
+  /// Reads exactly `n` raw bytes.
+  [[nodiscard]] Bytes raw(std::size_t n) {
+    require(n);
+    Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Reads a u32 length prefix then that many bytes.
+  [[nodiscard]] Bytes blob() {
+    const std::uint32_t n = u32();
+    if (n > remaining()) throw CodecError("blob length exceeds buffer");
+    return raw(n);
+  }
+
+  /// Reads a u32 length prefix then that many UTF-8 bytes as a string.
+  [[nodiscard]] std::string str() {
+    const std::uint32_t n = u32();
+    if (n > remaining()) throw CodecError("string length exceeds buffer");
+    require(n);
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Current read offset.
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  /// True when every byte has been consumed.
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+  /// View over the unconsumed tail (e.g. an encapsulated GIOP payload).
+  [[nodiscard]] BytesView rest() const { return data_.subspan(pos_); }
+
+  /// Skips `n` bytes.
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw CodecError("read past end: need " + std::to_string(n) + " at " +
+                       std::to_string(pos_) + " of " + std::to_string(data_.size()));
+    }
+  }
+  [[nodiscard]] std::uint8_t take_byte() {
+    require(1);
+    return data_[pos_++];
+  }
+  template <typename T>
+  [[nodiscard]] T get_int() {
+    require(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      const std::size_t shift =
+          order_ == ByteOrder::kBig ? (sizeof(T) - 1 - i) * 8 : i * 8;
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << shift);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  BytesView data_;
+  ByteOrder order_;
+  std::size_t pos_{0};
+};
+
+}  // namespace ftcorba

@@ -1,0 +1,45 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace ftcorba {
+namespace {
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+Log::State& Log::state() {
+  static State s;
+  return s;
+}
+
+void Log::set_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  state().sink = std::move(sink);
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  if (static_cast<int>(lvl) < static_cast<int>(state().level)) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (state().sink) {
+    state().sink(lvl, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+  }
+}
+
+}  // namespace ftcorba

@@ -1,0 +1,64 @@
+// log.hpp — minimal leveled logger. Protocol layers log through this so
+// tests can raise verbosity when debugging a failing seed; default level is
+// kWarn so benches are quiet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace ftcorba {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  /// Current minimum level that is emitted.
+  [[nodiscard]] static LogLevel level() { return state().level; }
+  /// Sets the minimum emitted level.
+  static void set_level(LogLevel lvl) { state().level = lvl; }
+
+  /// Replaces the sink (default writes to stderr). The sink receives fully
+  /// formatted lines without a trailing newline.
+  static void set_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+  /// Emits a line if `lvl` is at or above the configured level.
+  static void write(LogLevel lvl, const std::string& msg);
+
+ private:
+  struct State {
+    LogLevel level = LogLevel::kWarn;
+    std::function<void(LogLevel, const std::string&)> sink;
+  };
+  static State& state();
+};
+
+/// Stream-style logging helper: LOG_AT(kDebug) << "rmp gap " << seq;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+
+}  // namespace ftcorba
+
+/// Logs at the given level when enabled; the streaming expression is not
+/// evaluated when the level is filtered out.
+#define FTC_LOG(lvl)                                      \
+  if (static_cast<int>(::ftcorba::Log::level()) <=        \
+      static_cast<int>(::ftcorba::LogLevel::lvl))         \
+  ::ftcorba::LogLine(::ftcorba::LogLevel::lvl)

@@ -1,0 +1,9 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace ftcorba {
+
+double Rng::log_approx(double u) { return std::log(u); }
+
+}  // namespace ftcorba

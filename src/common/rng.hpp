@@ -1,0 +1,103 @@
+// rng.hpp — deterministic, seedable random number generation for the
+// simulated network and workload generators. We keep our own small PRNG
+// (xoshiro256**) rather than std::mt19937 so that streams are cheap to
+// split per-link and identical across standard-library versions — test and
+// bench results must be bit-reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace ftcorba {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state and to
+/// derive independent per-link sub-streams.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, tiny-state PRNG.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical streams on every
+  /// platform.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  /// Re-initializes the stream from a new seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent generator for a sub-stream (e.g. one per
+  /// network link), so adding a link never perturbs other links' draws.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const {
+    std::uint64_t sm = s_[0] ^ (s_[3] + 0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    return Rng(splitmix64(sm));
+  }
+
+  /// Next 64 uniformly random bits.
+  [[nodiscard]] std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) (bound must be > 0). Uses rejection to
+  /// avoid modulo bias.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw: true with probability p.
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Exponentially distributed duration with the given mean (for Poisson
+  /// arrival processes in workload generators).
+  [[nodiscard]] double next_exponential(double mean) {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return -mean * log_approx(u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Natural log via the standard library; isolated so the header stays light.
+  [[nodiscard]] static double log_approx(double u);
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ftcorba

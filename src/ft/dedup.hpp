@@ -1,0 +1,78 @@
+// dedup.hpp — duplicate detection and suppression (§4): with object
+// replication, every replica of a client group multicasts the same request
+// (same connection id, same request number), and every replica of the
+// server group multicasts the same reply. Receivers must process exactly
+// one copy. The ⟨connection id, request number⟩ pair is unique per
+// invocation, and requests/replies are distinguished by direction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/ids.hpp"
+
+namespace ftcorba::ft {
+
+/// Which half of an invocation a message carries.
+enum class MessageKind : std::uint8_t { kRequest = 0, kReply = 1 };
+
+/// Counters for tests and the E6 bench.
+struct DedupStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t suppressed = 0;
+};
+
+/// Tracks ⟨connection, request number, kind⟩ triples and accepts only the
+/// first occurrence of each. Old entries are reclaimed per connection once
+/// the application declares a low-water mark (request numbers are
+/// monotonically increasing over a connection, §4).
+class DuplicateSuppressor {
+ public:
+  /// Returns true exactly once per ⟨connection, request_num, kind⟩.
+  bool accept(const ConnectionId& connection, RequestNum request_num, MessageKind kind) {
+    auto& seen = seen_[connection];
+    const std::uint64_t key = (request_num << 1) | static_cast<std::uint64_t>(kind);
+    if (request_num < low_water_[connection] || !seen.insert(key).second) {
+      stats_.suppressed += 1;
+      return false;
+    }
+    stats_.accepted += 1;
+    return true;
+  }
+
+  /// True if the triple has been seen (without recording anything).
+  [[nodiscard]] bool seen(const ConnectionId& connection, RequestNum request_num,
+                          MessageKind kind) const {
+    auto it = seen_.find(connection);
+    if (it == seen_.end()) return false;
+    const std::uint64_t key = (request_num << 1) | static_cast<std::uint64_t>(kind);
+    return it->second.contains(key);
+  }
+
+  /// Declares that request numbers below `watermark` on `connection` are
+  /// finished: their entries are reclaimed and future copies suppressed.
+  void trim(const ConnectionId& connection, RequestNum watermark) {
+    low_water_[connection] = watermark;
+    auto it = seen_.find(connection);
+    if (it == seen_.end()) return;
+    auto& seen = it->second;
+    seen.erase(seen.begin(), seen.lower_bound(watermark << 1));
+  }
+
+  /// Entries currently retained (memory introspection).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& [conn, seen] : seen_) n += seen.size();
+    return n;
+  }
+
+  [[nodiscard]] const DedupStats& stats() const { return stats_; }
+
+ private:
+  std::map<ConnectionId, std::set<std::uint64_t>> seen_;
+  std::map<ConnectionId, RequestNum> low_water_;
+  DedupStats stats_;
+};
+
+}  // namespace ftcorba::ft

@@ -1,0 +1,72 @@
+// domain.hpp — fault-tolerance domain bookkeeping: which object groups
+// exist, which processors host their replicas, and how connections between
+// object groups are identified. This is the directory role of the paper's
+// "fault tolerance infrastructure" (played by Eternal in the authors'
+// system).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "orb/object.hpp"
+
+namespace ftcorba::ft {
+
+/// Descriptor of one object group within a domain.
+struct ObjectGroupInfo {
+  ObjectGroupId id{};
+  std::vector<ProcessorId> replicas;  ///< processors hosting the replicas
+  orb::ObjectKey key;                 ///< the object's key within servants
+};
+
+/// Directory of one fault-tolerance domain.
+class DomainDirectory {
+ public:
+  DomainDirectory(FtDomainId id, McastAddress domain_address)
+      : id_(id), domain_address_(domain_address) {}
+
+  [[nodiscard]] FtDomainId id() const { return id_; }
+  [[nodiscard]] McastAddress domain_address() const { return domain_address_; }
+
+  /// Registers (or replaces) an object group.
+  void put_group(ObjectGroupInfo info) { groups_[info.id] = std::move(info); }
+
+  /// Looks up an object group.
+  [[nodiscard]] const ObjectGroupInfo* group(ObjectGroupId g) const {
+    auto it = groups_.find(g);
+    return it == groups_.end() ? nullptr : &it->second;
+  }
+
+  /// Adds a replica processor to a group's record.
+  void add_replica(ObjectGroupId g, ProcessorId p) {
+    auto it = groups_.find(g);
+    if (it == groups_.end()) return;
+    auto& r = it->second.replicas;
+    if (std::find(r.begin(), r.end(), p) == r.end()) r.push_back(p);
+  }
+
+  /// Removes a replica processor (e.g. after a fault report).
+  void remove_replica(ObjectGroupId g, ProcessorId p) {
+    auto it = groups_.find(g);
+    if (it == groups_.end()) return;
+    auto& r = it->second.replicas;
+    r.erase(std::remove(r.begin(), r.end(), p), r.end());
+  }
+
+  /// A client-side reference to one of this domain's object groups.
+  [[nodiscard]] std::optional<orb::GroupObjectRef> make_ref(ObjectGroupId g) const {
+    const ObjectGroupInfo* info = group(g);
+    if (!info) return std::nullopt;
+    return orb::GroupObjectRef{id_, g, domain_address_, info->key};
+  }
+
+ private:
+  FtDomainId id_;
+  McastAddress domain_address_;
+  std::map<ObjectGroupId, ObjectGroupInfo> groups_;
+};
+
+}  // namespace ftcorba::ft

@@ -1,0 +1,51 @@
+// fault_notifier.hpp — conveys PGMP fault reports to the fault-tolerance
+// infrastructure (§7.2: "The protocol then issues a fault report ... which
+// is conveyed to the fault tolerance infrastructure"), which reacts by
+// removing affected replicas and activating backups.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "ftmp/events.hpp"
+
+namespace ftcorba::ft {
+
+/// Dispatches fault and membership events to registered consumers.
+class FaultNotifier {
+ public:
+  using FaultHandler = std::function<void(const ftmp::FaultReport&)>;
+  using MembershipHandler = std::function<void(const ftmp::MembershipChanged&)>;
+
+  /// Registers a consumer of fault reports (e.g. a replication manager
+  /// that activates a backup replica).
+  void on_fault(FaultHandler handler) { fault_handlers_.push_back(std::move(handler)); }
+
+  /// Registers a consumer of membership changes.
+  void on_membership(MembershipHandler handler) {
+    membership_handlers_.push_back(std::move(handler));
+  }
+
+  /// Feeds one stack event; fan-outs to matching handlers.
+  void on_event(const ftmp::Event& event) {
+    if (const auto* fault = std::get_if<ftmp::FaultReport>(&event)) {
+      faults_seen_.push_back(*fault);
+      for (const auto& h : fault_handlers_) h(*fault);
+    } else if (const auto* change = std::get_if<ftmp::MembershipChanged>(&event)) {
+      for (const auto& h : membership_handlers_) h(*change);
+    }
+  }
+
+  /// All fault reports observed (diagnostics / tests).
+  [[nodiscard]] const std::vector<ftmp::FaultReport>& faults() const {
+    return faults_seen_;
+  }
+
+ private:
+  std::vector<FaultHandler> fault_handlers_;
+  std::vector<MembershipHandler> membership_handlers_;
+  std::vector<ftmp::FaultReport> faults_seen_;
+};
+
+}  // namespace ftcorba::ft

@@ -1,0 +1,113 @@
+#include "ft/persistent_log.hpp"
+
+#include <stdexcept>
+
+#include "common/codec.hpp"
+
+namespace ftcorba::ft {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'F', 'T', 'L', 'G'};
+
+[[nodiscard]] Bytes encode_record_body(const LogEntry& entry) {
+  Writer w(ByteOrder::kBig);
+  for (std::uint8_t b : kMagic) w.u8(b);
+  w.u8(static_cast<std::uint8_t>(entry.kind));
+  w.u32(entry.connection.client_domain.raw());
+  w.u32(entry.connection.client_group.raw());
+  w.u32(entry.connection.server_domain.raw());
+  w.u32(entry.connection.server_group.raw());
+  w.u64(entry.request_num);
+  w.u64(entry.timestamp);
+  w.blob(entry.giop_message);
+  return std::move(w).take();
+}
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+PersistentLog::PersistentLog(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_) throw std::runtime_error("cannot open log file: " + path_);
+}
+
+PersistentLog::~PersistentLog() {
+  if (file_) std::fclose(file_);
+}
+
+void PersistentLog::append(const LogEntry& entry) {
+  const Bytes body = encode_record_body(entry);
+  Writer tail(ByteOrder::kBig);
+  tail.u32(crc32(body));
+  const Bytes crc_bytes = std::move(tail).take();
+  if (std::fwrite(body.data(), 1, body.size(), file_) != body.size() ||
+      std::fwrite(crc_bytes.data(), 1, crc_bytes.size(), file_) != crc_bytes.size()) {
+    throw std::runtime_error("log append failed: " + path_);
+  }
+  bytes_written_ += body.size() + crc_bytes.size();
+}
+
+void PersistentLog::flush() {
+  if (file_) std::fflush(file_);
+}
+
+std::vector<LogEntry> PersistentLog::load(const std::string& path) {
+  std::vector<LogEntry> out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return out;
+  Bytes content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.insert(content.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  Reader r(content, ByteOrder::kBig);
+  while (r.remaining() > 0) {
+    const std::size_t record_start = r.position();
+    try {
+      for (std::uint8_t expected : kMagic) {
+        if (r.u8() != expected) return out;  // torn/garbage: stop
+      }
+      LogEntry entry;
+      const std::uint8_t kind = r.u8();
+      if (kind > 1) return out;
+      entry.kind = static_cast<MessageKind>(kind);
+      entry.connection.client_domain = FtDomainId{r.u32()};
+      entry.connection.client_group = ObjectGroupId{r.u32()};
+      entry.connection.server_domain = FtDomainId{r.u32()};
+      entry.connection.server_group = ObjectGroupId{r.u32()};
+      entry.request_num = r.u64();
+      entry.timestamp = r.u64();
+      entry.giop_message = r.blob();
+      const std::size_t record_end = r.position();
+      const std::uint32_t stored_crc = r.u32();
+      const BytesView body{content.data() + record_start, record_end - record_start};
+      if (crc32(body) != stored_crc) return out;  // corrupt: stop
+      out.push_back(std::move(entry));
+    } catch (const CodecError&) {
+      return out;  // truncated tail: stop
+    }
+  }
+  return out;
+}
+
+MessageLog PersistentLog::load_into_memory(const std::string& path) {
+  MessageLog log;
+  for (LogEntry& entry : load(path)) {
+    log.record(std::move(entry));
+  }
+  return log;
+}
+
+}  // namespace ftcorba::ft

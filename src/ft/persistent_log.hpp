@@ -1,0 +1,60 @@
+// persistent_log.hpp — a durable, append-only message log. §4's replay
+// ("when replaying messages from a log") is only useful after a restart if
+// the log survives the crash; this is the write-ahead file behind
+// ft::MessageLog.
+//
+// Record format (all integers big-endian):
+//   magic 'FTLG' | kind u8 | connection (4 x u32) | request num u64 |
+//   timestamp u64 | payload length u32 | payload | crc32 of all the above
+//
+// Recovery reads records until EOF or the first torn/corrupt record
+// (classic WAL semantics): everything before the tear is trusted,
+// everything after is discarded.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ft/message_log.hpp"
+
+namespace ftcorba::ft {
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte range.
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+/// Append-only durable log writer.
+class PersistentLog {
+ public:
+  /// Opens (creating if needed) `path` for appending.
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit PersistentLog(std::string path);
+  ~PersistentLog();
+
+  PersistentLog(const PersistentLog&) = delete;
+  PersistentLog& operator=(const PersistentLog&) = delete;
+
+  /// Appends one record (buffered; call flush for durability points).
+  void append(const LogEntry& entry);
+
+  /// Flushes buffered records to the OS.
+  void flush();
+
+  /// Bytes appended through this writer.
+  [[nodiscard]] std::size_t bytes_written() const { return bytes_written_; }
+
+  /// Reads every intact record of a log file, stopping silently at the
+  /// first torn or corrupt one.
+  [[nodiscard]] static std::vector<LogEntry> load(const std::string& path);
+
+  /// Loads a log file into an in-memory MessageLog (replay-ready).
+  [[nodiscard]] static MessageLog load_into_memory(const std::string& path);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace ftcorba::ft

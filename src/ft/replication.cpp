@@ -1,0 +1,68 @@
+#include "ft/replication.hpp"
+
+namespace ftcorba::ft {
+
+ReplicaRecovery::ReplicaRecovery(orb::Orb& orb, ConnectionId connection,
+                                 orb::ObjectKey key,
+                                 std::shared_ptr<StateMachine> machine)
+    : orb_(orb),
+      connection_(connection),
+      key_(std::move(key)),
+      machine_(std::move(machine)) {}
+
+bool ReplicaRecovery::start(TimePoint now) {
+  buffer_ = std::make_shared<BufferingServant>();
+  orb_.activate(key_, buffer_);
+  giop::CdrWriter no_args;
+  auto sent = orb_.invoke(now, connection_, key_, kGetStateOp, no_args,
+                          [this](const giop::Reply& reply, ByteOrder order) {
+                            finish(reply, order);
+                          });
+  if (!sent) {
+    orb_.deactivate(key_);
+    buffer_.reset();
+    return false;
+  }
+  return true;
+}
+
+void ReplicaRecovery::finish(const giop::Reply& reply, ByteOrder body_order) {
+  // Restore the snapshot taken at the get-state delivery point...
+  giop::CdrReader body(reply.body, body_order);
+  machine_->restore(body.octet_seq());
+  // ...then replay everything the buffer saw after that point.
+  replica_ = std::make_shared<ActiveReplica>(machine_);
+  for (const BufferingServant::BufferedRequest& req : buffer_->buffered()) {
+    giop::CdrReader in(req.arguments, req.order);
+    giop::CdrWriter out;
+    (void)replica_->machine().apply(req.operation, in, out);
+  }
+  orb_.activate(key_, replica_);
+  buffer_.reset();
+  done_ = true;
+}
+
+std::size_t replay_requests(const MessageLog& log, const ConnectionId& connection,
+                            const orb::ObjectKey& key, StateMachine& machine,
+                            RequestNum after) {
+  std::size_t applied = 0;
+  for (const LogEntry& entry : log.replay_since(connection, after)) {
+    if (entry.kind != MessageKind::kRequest) continue;
+    giop::GiopMessage msg;
+    try {
+      msg = giop::decode(entry.giop_message);
+    } catch (const giop::CdrError&) {
+      continue;  // a logged non-GIOP payload; nothing to apply
+    }
+    const auto* request = std::get_if<giop::Request>(&msg.body);
+    if (!request || orb::ObjectKey{request->object_key} != key) continue;
+    if (request->operation == kGetStateOp) continue;
+    giop::CdrReader in(request->body, msg.header.byte_order);
+    giop::CdrWriter out;
+    (void)machine.apply(request->operation, in, out);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace ftcorba::ft

@@ -1,0 +1,76 @@
+// config.hpp — tunable parameters of the FTMP stack. Defaults follow the
+// paper's qualitative guidance; the benchmark harness sweeps the ones the
+// paper calls out (heartbeat interval, clock mode, retransmission policy).
+#pragma once
+
+#include <cstddef>
+
+#include "common/clock.hpp"
+#include "common/codec.hpp"
+
+namespace ftcorba::ftmp {
+
+/// Stack-wide configuration, fixed at construction.
+struct Config {
+  /// A processor multicasts a Heartbeat to a group if it has not multicast
+  /// a Regular message within this period (§5). "The choice of the
+  /// heartbeat interval is a compromise between message latency and network
+  /// traffic" — bench E3 sweeps it.
+  Duration heartbeat_interval = 10 * kMillisecond;
+
+  /// Minimum spacing between successive RetransmitRequests for the same
+  /// missing block (rate-limits NACKs while a retransmission is in flight).
+  Duration nack_interval = 5 * kMillisecond;
+
+  /// Minimum spacing between retransmissions of the same stored message by
+  /// this processor (prevents retransmit storms when several NACKs for one
+  /// message arrive close together).
+  Duration retransmit_interval = 5 * kMillisecond;
+
+  /// A member that has not been heard from for this long is suspected of
+  /// having crashed (PGMP fault detector, driven by heartbeat receipt).
+  Duration fault_timeout = 200 * kMillisecond;
+
+  /// Client side: period between ConnectRequest retransmissions until the
+  /// server responds with Connect (§7).
+  Duration connect_retry_interval = 50 * kMillisecond;
+
+  /// Sponsor side: period between retransmissions of an AddProcessor (or
+  /// server-side Connect) toward a new member / client group, which cannot
+  /// NACK yet (§5: reliability exception; §7: periodic retransmission).
+  Duration join_retry_interval = 20 * kMillisecond;
+
+  /// When true (paper behaviour, §5), *any* processor holding a message may
+  /// answer a RetransmitRequest for it; when false only the original source
+  /// retransmits. Ablation D4 (bench E4).
+  bool any_holder_retransmit = true;
+
+  /// Timestamp source: pure Lamport counters (paper default) or simulated
+  /// synchronized clocks (§6's GPS option; bench E8).
+  TimestampSource::Mode clock_mode = TimestampSource::Mode::kLamport;
+
+  /// Per-processor clock skew applied in kSynchronized mode (models NTP/GPS
+  /// residual error).
+  Duration clock_skew = 0;
+
+  /// Byte order used for this stack's outgoing messages. Either order is
+  /// accepted on input (receiver-makes-right).
+  ByteOrder byte_order = ByteOrder::kBig;
+
+  /// Hard cap on buffered out-of-order messages per source, a defence
+  /// against pathological senders; 0 = unlimited.
+  std::size_t max_out_of_order_buffer = 0;
+
+  /// Regular payloads larger than this are transparently fragmented into
+  /// several Regular messages and reassembled in delivery order
+  /// (fragment.hpp); 0 disables fragmentation. The default keeps each
+  /// datagram under the ~64 KiB UDP limit with protocol headroom.
+  std::size_t max_regular_payload = 60000;
+
+  /// When false, ROMP stability never releases RMP's retransmission
+  /// buffers — the "no buffer management" ablation of bench E7 (§6's ack
+  /// timestamps are exactly what makes reclamation safe).
+  bool stability_gc = true;
+};
+
+}  // namespace ftcorba::ftmp

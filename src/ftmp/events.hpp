@@ -1,0 +1,79 @@
+// events.hpp — events the FTMP stack delivers upward to the ORB /
+// fault-tolerance infrastructure.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "ftmp/messages.hpp"
+
+namespace ftcorba::ftmp {
+
+/// A Regular message delivered in causal + total order (the whole point of
+/// the stack). `giop_message` is the encapsulated GIOP payload.
+struct DeliveredMessage {
+  ProcessorGroupId group{};
+  ProcessorId source{};
+  SeqNum seq = 0;
+  Timestamp timestamp = 0;
+  ConnectionId connection{};
+  RequestNum request_num = 0;
+  Bytes giop_message;
+  /// Local time at which the stack delivered the message (latency metric).
+  TimePoint delivered_at = 0;
+};
+
+/// The group installed a new membership (totally ordered with respect to
+/// DeliveredMessage events).
+struct MembershipChanged {
+  enum class Reason : std::uint8_t {
+    kInitial,        ///< Bootstrap membership installed.
+    kProcessorAdded, ///< AddProcessor ordered.
+    kProcessorRemoved, ///< RemoveProcessor ordered.
+    kFault,          ///< Faulty processors convicted and excluded.
+  };
+  ProcessorGroupId group{};
+  Reason reason{};
+  MembershipInfo membership;       ///< The newly installed membership.
+  std::vector<ProcessorId> joined; ///< Members present now but not before.
+  std::vector<ProcessorId> left;   ///< Members present before but not now.
+};
+
+/// A fault report (§7.2): `convicted` was removed from `group` because
+/// enough members suspected it. Conveyed to the fault-tolerance
+/// infrastructure, which removes affected replicas and activates backups.
+struct FaultReport {
+  ProcessorGroupId group{};
+  ProcessorId convicted{};
+};
+
+/// This processor was itself removed from the group (by RemoveProcessor or
+/// by conviction in a membership it did not survive into).
+struct SelfEvicted {
+  ProcessorGroupId group{};
+};
+
+/// Client side: the server responded to our ConnectRequest; the logical
+/// connection is bound to `processor_group` on `multicast_address`.
+struct ConnectionEstablished {
+  ConnectionId connection{};
+  ProcessorGroupId processor_group{};
+  McastAddress multicast_address{};
+};
+
+/// Server side: a ConnectRequest arrived for a connection this stack does
+/// not serve yet; the FT infrastructure decides (via Stack::accept_connection)
+/// which processor group will carry it.
+struct ConnectionRequested {
+  ConnectionId connection{};
+  std::vector<ProcessorId> client_processors;
+};
+
+/// Any upward event.
+using Event = std::variant<DeliveredMessage, MembershipChanged, FaultReport,
+                           SelfEvicted, ConnectionEstablished, ConnectionRequested>;
+
+}  // namespace ftcorba::ftmp

@@ -1,0 +1,396 @@
+#include "ftmp/group_session.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ftcorba::ftmp {
+
+GroupSession::GroupSession(ProcessorId self, ProcessorGroupId group,
+                           McastAddress group_addr, McastAddress domain_addr,
+                           const Config& config, Outbox& outbox)
+    : self_(self),
+      group_(group),
+      group_addr_(group_addr),
+      domain_addr_(domain_addr),
+      config_(config),
+      outbox_(outbox),
+      rmp_(self, config),
+      romp_(self, config),
+      pgmp_(self, config, rmp_, romp_) {}
+
+void GroupSession::bootstrap(TimePoint now, const std::vector<ProcessorId>& members) {
+  pgmp_.bootstrap(now, members);
+  pump(now);
+}
+
+void GroupSession::init_from_add(TimePoint now, const Message& add_msg, BytesView raw) {
+  pgmp_.init_from_add(now, add_msg);
+  // Feed the AddProcessor through the normal reliable path so it is stored,
+  // counted in the sponsor's stream and (eventually) ordered here too —
+  // on_add_ordered dedupes the self-join.
+  handle(now, add_msg, raw);
+  pump(now);
+}
+
+bool GroupSession::is_member(ProcessorId p) const {
+  const auto& ms = pgmp_.membership().members;
+  return std::find(ms.begin(), ms.end(), p) != ms.end();
+}
+
+Header GroupSession::send_message(TimePoint now, Body body, McastAddress target) {
+  Header h;
+  h.byte_order = config_.byte_order;
+  h.source = self_;
+  h.destination_group = group_;
+  h.type = type_of(body);
+  const bool reliable = is_reliable(h.type);
+  h.sequence_number = reliable ? rmp_.assign_seq() : rmp_.last_sent();
+  h.message_timestamp = romp_.stamp(now);
+  h.ack_timestamp = romp_.ack_timestamp();
+  Bytes raw = encode_message(Message{h, std::move(body)});
+  if (reliable) rmp_.store(self_, h.sequence_number, raw);
+  // Every freshly-stamped multicast doubles as liveness information, so it
+  // resets the heartbeat timer (verbatim retransmissions do not).
+  rmp_.note_sent(now);
+  outbox_.packets.push_back(net::Datagram{target, std::move(raw)});
+  return h;
+}
+
+void GroupSession::emit_regular(TimePoint now, const ConnectionId& connection,
+                                RequestNum request_num, BytesView giop) {
+  const bool collides = looks_like_fragment(giop);
+  if (config_.max_regular_payload > 0 &&
+      (giop.size() > config_.max_regular_payload || collides)) {
+    // Too large for one datagram: fragment; total order reassembles. A
+    // payload that happens to start with the fragment magic is wrapped as
+    // a single-chunk fragment so it cannot be misparsed on delivery.
+    for (Bytes& chunk :
+         make_fragments(giop, config_.max_regular_payload, ++fragment_counter_)) {
+      RegularBody body;
+      body.connection = connection;
+      body.request_num = request_num;
+      body.giop_message = std::move(chunk);
+      send_message(now, std::move(body), group_addr_);
+    }
+    return;
+  }
+  RegularBody body;
+  body.connection = connection;
+  body.request_num = request_num;
+  body.giop_message.assign(giop.begin(), giop.end());
+  send_message(now, std::move(body), group_addr_);
+}
+
+bool GroupSession::send_regular(TimePoint now, const ConnectionId& connection,
+                                RequestNum request_num, BytesView giop) {
+  if (!active()) return false;
+  if (flushing()) {
+    // §7 flush rule: no ordered transmissions until every member has been
+    // heard above the Connect's timestamp. Queue and release from pump().
+    queued_sends_.push_back(
+        QueuedSend{connection, request_num, Bytes(giop.begin(), giop.end())});
+    return true;
+  }
+  emit_regular(now, connection, request_num, giop);
+  pump(now);
+  return true;
+}
+
+bool GroupSession::rebind_address(TimePoint now, McastAddress new_addr) {
+  if (!active() || flushing() || rebind_requested_ || new_addr == group_addr_) {
+    return false;
+  }
+  ConnectBody body;
+  body.connection = ConnectionId{};  // group-wide rebind
+  body.processor_group = group_;
+  body.multicast_address = new_addr;
+  body.current_membership = pgmp_.membership();
+  // Transmitted "using the current IP Multicast address and the current
+  // processor group" (§7) and delivered in total order.
+  send_message(now, std::move(body), group_addr_);
+  rebind_requested_ = true;
+  pump(now);
+  return true;
+}
+
+void GroupSession::begin_rebind(TimePoint now, const Message& connect_msg) {
+  const auto& body = std::get<ConnectBody>(connect_msg.body);
+  old_addr_ = group_addr_;
+  // Keep announcing on the old address long enough that a member whose
+  // every copy of the Connect was lost still recovers; afterwards the
+  // fault detector takes over (an unreachable member is convicted).
+  old_addr_retire_at_ = now + 4 * config_.fault_timeout;
+  group_addr_ = body.multicast_address;
+  flush_ts_ = connect_msg.header.message_timestamp;
+  rebind_requested_ = false;
+  rebind_src_ = connect_msg.header.source;
+  rebind_seq_ = connect_msg.header.sequence_number;
+  last_rebind_resend_ = 0;
+}
+
+void GroupSession::progress_flush(TimePoint now) {
+  if (flush_ts_ && romp_.min_bound() > *flush_ts_) {
+    // Every member has spoken above the Connect timestamp: flush complete.
+    const Timestamp done_ts = *flush_ts_;
+    flush_ts_.reset();
+    std::vector<QueuedSend> queued;
+    queued.swap(queued_sends_);
+    for (QueuedSend& q : queued) {
+      emit_regular(now, q.connection, q.request_num, q.giop);
+    }
+    (void)done_ts;
+  }
+  // Retire the old address once the announcement window has passed and the
+  // flush is done.
+  if (old_addr_ && !flush_ts_ && now >= old_addr_retire_at_) {
+    old_addr_.reset();
+  }
+}
+
+std::optional<SeqNum> GroupSession::send_connect(TimePoint now, ConnectBody body) {
+  if (!active()) return std::nullopt;
+  const Header h = send_message(now, std::move(body), domain_addr_);
+  pump(now);
+  return h.sequence_number;
+}
+
+bool GroupSession::add_processor(TimePoint now, ProcessorId new_member) {
+  if (flushing()) return false;
+  auto body = pgmp_.make_add(new_member);
+  if (!body) return false;
+  pgmp_.note_add_sent(new_member, now, *body);
+  send_message(now, std::move(*body), group_addr_);
+  pump(now);
+  return true;
+}
+
+bool GroupSession::remove_processor(TimePoint now, ProcessorId member) {
+  if (flushing()) return false;
+  auto body = pgmp_.make_remove(member);
+  if (!body) return false;
+  send_message(now, std::move(*body), group_addr_);
+  pump(now);
+  return true;
+}
+
+bool GroupSession::resend_stored(ProcessorId source, SeqNum seq,
+                                 std::optional<McastAddress> target) {
+  auto raw = rmp_.stored(source, seq);
+  if (!raw) return false;
+  outbox_.packets.push_back(
+      net::Datagram{target.value_or(group_addr_), Bytes(raw->begin(), raw->end())});
+  return true;
+}
+
+void GroupSession::handle(TimePoint now, const Message& msg, BytesView raw) {
+  if (!active()) {
+    // Lame-duck service: an evicted member still answers retransmission
+    // requests from its stores so laggards can order the removal.
+    if (lame_duck(now) && msg.header.type == MessageType::kRetransmitRequest) {
+      rmp_.on_retransmit_request(now, std::get<RetransmitRequestBody>(msg.body));
+      for (RmpOut& out : rmp_.take_output()) {
+        apply_rmp_out(now, std::move(out));
+      }
+    }
+    return;
+  }
+  const Header& h = msg.header;
+  pgmp_.note_heard(h.source, now);
+  switch (h.type) {
+    case MessageType::kHeartbeat:
+      rmp_.on_heartbeat(now, h);
+      romp_.on_heartbeat(h, rmp_.contiguous(h.source));
+      break;
+    case MessageType::kRetransmitRequest:
+      // A NACK's header carries the sender's current stream position and
+      // fresh timestamps ("derived from the current values provided by the
+      // ROMP layer", §5), so it informs gap detection and bounds exactly
+      // like a Heartbeat, in addition to soliciting retransmissions.
+      rmp_.on_heartbeat(now, h);
+      romp_.on_heartbeat(h, rmp_.contiguous(h.source));
+      rmp_.on_retransmit_request(now, std::get<RetransmitRequestBody>(msg.body));
+      break;
+    case MessageType::kConnectRequest:
+      break;  // domain-level; never routed to a session
+    default: {
+      // Reliable, source-ordered path (Regular, Connect, AddProcessor,
+      // RemoveProcessor, Suspect, Membership).
+      for (Message& m : rmp_.on_reliable(now, msg, raw)) {
+        route_source_ordered(now, m);
+      }
+      break;
+    }
+  }
+  pump(now);
+}
+
+void GroupSession::route_source_ordered(TimePoint now, const Message& msg) {
+  romp_.on_source_ordered(msg);
+  // Suspect and Membership are "Reliable: yes, Totally Ordered: no"
+  // (Fig. 3): they reach PGMP straight from the source-ordered stream.
+  if (msg.header.type == MessageType::kSuspect) {
+    pgmp_.on_suspect(now, msg);
+  } else if (msg.header.type == MessageType::kMembership) {
+    pgmp_.on_membership_msg(now, msg);
+  }
+}
+
+void GroupSession::deliver_ordered(TimePoint now, const Message& msg) {
+  switch (msg.header.type) {
+    case MessageType::kRegular: {
+      const auto& body = std::get<RegularBody>(msg.body);
+      DeliveredMessage ev;
+      ev.group = group_;
+      ev.source = msg.header.source;
+      ev.seq = msg.header.sequence_number;
+      ev.timestamp = msg.header.message_timestamp;
+      ev.connection = body.connection;
+      ev.request_num = body.request_num;
+      ev.delivered_at = now;
+      if (looks_like_fragment(body.giop_message)) {
+        auto whole = reassembler_.feed(msg.header.source, body.giop_message);
+        if (!whole) break;  // partial (or orphan tail): nothing to deliver yet
+        ev.giop_message = std::move(*whole);
+      } else {
+        ev.giop_message = body.giop_message;
+      }
+      outbox_.events.emplace_back(std::move(ev));
+      break;
+    }
+    case MessageType::kAddProcessor:
+      pgmp_.on_add_ordered(now, msg);
+      break;
+    case MessageType::kRemoveProcessor:
+      pgmp_.on_remove_ordered(now, msg);
+      break;
+    case MessageType::kConnect: {
+      // Establishment Connects are handled at the Stack. An ordered
+      // Connect that names this group with a *different* multicast address
+      // is a rebind (§7): switch and start the flush.
+      const auto& body = std::get<ConnectBody>(msg.body);
+      if (body.processor_group == group_ && body.multicast_address != group_addr_) {
+        begin_rebind(now, msg);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void GroupSession::apply_rmp_out(TimePoint now, RmpOut&& out) {
+  if (auto* nack = std::get_if<NackOut>(&out)) {
+    RetransmitRequestBody body;
+    body.processor = nack->missing_from;
+    body.start_seq = nack->start;
+    body.stop_seq = nack->stop;
+    send_message(now, std::move(body), group_addr_);
+  } else if (auto* rt = std::get_if<RetransmitOut>(&out)) {
+    // During an address rebind, laggards still listening on the old
+    // address must be able to recover: retransmit on both.
+    if (old_addr_) {
+      outbox_.packets.push_back(net::Datagram{*old_addr_, rt->raw});
+    }
+    outbox_.packets.push_back(net::Datagram{group_addr_, std::move(rt->raw)});
+  }
+}
+
+void GroupSession::emit_install(TimePoint now, InstallOut&& install) {
+  for (Message& m : install.remainder) {
+    if (m.header.type == MessageType::kRegular) {
+      deliver_ordered(now, m);
+    } else if (m.header.type == MessageType::kAddProcessor ||
+               m.header.type == MessageType::kRemoveProcessor) {
+      // Membership operations caught inside a fault-recovery cut: the paper
+      // assumes planned changes run only "in the case that there are no
+      // faulty processors" (§7.1); we skip them and log (DESIGN.md, known
+      // simplifications).
+      FTC_LOG(kWarn) << to_string(self_) << " " << to_string(group_)
+                     << ": skipping " << to_string(m.header.type)
+                     << " caught in fault-recovery cut";
+    }
+  }
+  install.change.group = group_;
+  // A removed member's partially-reassembled message can never complete.
+  for (ProcessorId gone : install.change.left) {
+    reassembler_.forget(gone);
+  }
+  for (FaultReport& f : install.faults) {
+    f.group = group_;
+    outbox_.events.emplace_back(f);
+  }
+  outbox_.events.emplace_back(std::move(install.change));
+  if (install.self_evicted) {
+    deactivated_at_ = now;
+    outbox_.events.emplace_back(SelfEvicted{group_});
+  }
+}
+
+void GroupSession::apply_pgmp_out(TimePoint now, PgmpOut&& out) {
+  if (auto* send = std::get_if<SendBodyOut>(&out)) {
+    send_message(now, std::move(send->body), group_addr_);
+  } else if (auto* resend = std::get_if<ResendStoredOut>(&out)) {
+    resend_stored(resend->source, resend->seq);
+  } else if (auto* install = std::get_if<InstallOut>(&out)) {
+    emit_install(now, std::move(*install));
+  }
+}
+
+void GroupSession::pump(TimePoint now) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (Message& m : romp_.collect_deliverable()) {
+      deliver_ordered(now, m);
+      progress = true;
+    }
+    for (PgmpOut& out : pgmp_.take_output()) {
+      apply_pgmp_out(now, std::move(out));
+      progress = true;
+    }
+    for (RmpOut& out : rmp_.take_output()) {
+      apply_rmp_out(now, std::move(out));
+      progress = true;
+    }
+  }
+  if (config_.stability_gc) {
+    for (const auto& [src, seq] : romp_.collect_stable()) {
+      rmp_.release(src, seq);
+    }
+  }
+  progress_flush(now);
+}
+
+void GroupSession::tick(TimePoint now) {
+  if (!active()) {
+    // Lame-duck heartbeats carry fresh timestamps so members that have not
+    // yet ordered our removal can keep ordering.
+    if (lame_duck(now) && rmp_.heartbeat_due(now)) {
+      send_message(now, HeartbeatBody{}, group_addr_);
+    }
+    return;
+  }
+  pgmp_.tick(now);
+  rmp_.on_tick(now);
+  if (rmp_.heartbeat_due(now)) {
+    send_message(now, HeartbeatBody{}, group_addr_);
+    // While the old address is retiring, members that have not yet ordered
+    // the rebind Connect still need fresh timestamps to make it
+    // deliverable — heartbeat on both addresses.
+    if (old_addr_ && !outbox_.packets.empty()) {
+      net::Datagram echo = outbox_.packets.back();
+      echo.addr = *old_addr_;
+      outbox_.packets.push_back(std::move(echo));
+    }
+  }
+  // Re-announce an in-progress rebind on the old address until the whole
+  // membership has moved (the retire condition implies everyone switched).
+  if (old_addr_ && now - last_rebind_resend_ >= config_.join_retry_interval) {
+    last_rebind_resend_ = now;
+    resend_stored(rebind_src_, rebind_seq_, *old_addr_);
+  }
+  pump(now);
+}
+
+}  // namespace ftcorba::ftmp

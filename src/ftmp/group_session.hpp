@@ -1,0 +1,183 @@
+// group_session.hpp — one processor's FTMP endpoint for one processor
+// group: the composition of RMP, ROMP and PGMP (Fig. 1), plus header
+// stamping and message encoding.
+//
+// The session is sans-IO: `handle` consumes decoded messages, `tick`
+// advances timers, and everything to be transmitted or delivered upward is
+// appended to the shared Outbox owned by the Stack.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "ftmp/config.hpp"
+#include "ftmp/events.hpp"
+#include "ftmp/fragment.hpp"
+#include "ftmp/messages.hpp"
+#include "ftmp/pgmp.hpp"
+#include "ftmp/rmp.hpp"
+#include "ftmp/romp.hpp"
+#include "net/packet.hpp"
+
+namespace ftcorba::ftmp {
+
+/// Collects the outputs of one Stack: datagrams to transmit and events to
+/// deliver to the ORB / FT infrastructure.
+struct Outbox {
+  std::vector<net::Datagram> packets;
+  std::vector<Event> events;
+};
+
+/// One group membership of one processor.
+class GroupSession {
+ public:
+  GroupSession(ProcessorId self, ProcessorGroupId group, McastAddress group_addr,
+               McastAddress domain_addr, const Config& config, Outbox& outbox);
+
+  /// Installs the founding membership. Every founding member must call this
+  /// with the same member list before any traffic flows.
+  void bootstrap(TimePoint now, const std::vector<ProcessorId>& members);
+
+  /// Initializes this processor as the new member named by `add_msg`
+  /// (an AddProcessor received on the group address).
+  void init_from_add(TimePoint now, const Message& add_msg, BytesView raw);
+
+  /// False once evicted from the group.
+  [[nodiscard]] bool active() const { return pgmp_.active(); }
+
+  /// True while an evicted member is in its lame-duck grace period: it no
+  /// longer participates, but keeps heartbeating (fresh timestamps) and
+  /// answering RetransmitRequests so that members still ordering its
+  /// RemoveProcessor can finish. Without this, a member that missed the
+  /// tail traffic before the removal could stall forever.
+  [[nodiscard]] bool lame_duck(TimePoint now) const {
+    return !active() && deactivated_at_.has_value() &&
+           now - *deactivated_at_ < 4 * config_.fault_timeout;
+  }
+
+  /// Handles any group-addressed FTMP message except ConnectRequest (which
+  /// is domain-level and never reaches a session).
+  void handle(TimePoint now, const Message& msg, BytesView raw);
+
+  /// Timer work: fault detector, NACK refresh, heartbeats, join resends.
+  void tick(TimePoint now);
+
+  // ---- sends ----
+
+  /// Multicasts a Regular message (encapsulated GIOP) to the group.
+  /// Returns false if the session is inactive.
+  bool send_regular(TimePoint now, const ConnectionId& connection,
+                    RequestNum request_num, BytesView giop);
+
+  /// Multicasts a Connect message on the *domain* address (server side of
+  /// connection establishment, §7); the group members order it, the client
+  /// group overhears it. Returns the assigned sequence number (for later
+  /// verbatim resends) or nullopt if inactive.
+  std::optional<SeqNum> send_connect(TimePoint now, ConnectBody body);
+
+  /// Starts moving this group to a new multicast address (§7's second use
+  /// of Connect): multicasts an ordered Connect naming the new address on
+  /// the *current* address. When ordered, every member switches and
+  /// observes the flush rule. Returns false while inactive, already
+  /// rebinding, or reconfiguring.
+  bool rebind_address(TimePoint now, McastAddress new_addr);
+
+  /// The address the group used before a rebind, kept subscribed until
+  /// stragglers' retransmissions can no longer matter.
+  [[nodiscard]] std::optional<McastAddress> retiring_address() const {
+    return old_addr_;
+  }
+
+  /// True while the §7 flush is in progress (ordered sends are queued
+  /// "until it has received from every member of the processor group a
+  /// message with a higher timestamp than the timestamp of the Connect").
+  [[nodiscard]] bool flushing() const { return flush_ts_.has_value(); }
+
+  /// Starts adding a processor (sponsor side). False if rejected (already
+  /// a member, join pending, or a recovery is running).
+  bool add_processor(TimePoint now, ProcessorId new_member);
+
+  /// Starts removing a (non-faulty) processor. Same failure conditions.
+  bool remove_processor(TimePoint now, ProcessorId member);
+
+  /// Re-multicasts a stored message verbatim (used by the Stack to resend a
+  /// Connect toward a client group that cannot NACK, §7). Target defaults
+  /// to the group address; pass the domain address for Connect resends.
+  bool resend_stored(ProcessorId source, SeqNum seq,
+                     std::optional<McastAddress> target = std::nullopt);
+
+  // ---- introspection ----
+
+  [[nodiscard]] ProcessorGroupId id() const { return group_; }
+  [[nodiscard]] McastAddress address() const { return group_addr_; }
+  [[nodiscard]] const MembershipInfo& membership() const { return pgmp_.membership(); }
+  [[nodiscard]] bool is_member(ProcessorId p) const;
+  [[nodiscard]] const Rmp& rmp() const { return rmp_; }
+  [[nodiscard]] const Romp& romp() const { return romp_; }
+  [[nodiscard]] const Pgmp& pgmp() const { return pgmp_; }
+  [[nodiscard]] const Reassembler& reassembler() const { return reassembler_; }
+
+ private:
+  /// Stamps, encodes, transmits and (if reliable) stores a message.
+  /// Returns the header actually sent.
+  Header send_message(TimePoint now, Body body, McastAddress target);
+
+  /// Transmits a Regular payload immediately, fragmenting if it exceeds
+  /// the configured datagram budget.
+  void emit_regular(TimePoint now, const ConnectionId& connection,
+                    RequestNum request_num, BytesView giop);
+
+  /// Delivers messages that became totally ordered, applies PGMP and RMP
+  /// outputs, and advances stability — repeated until quiescent.
+  void pump(TimePoint now);
+
+  void route_source_ordered(TimePoint now, const Message& msg);
+  void deliver_ordered(TimePoint now, const Message& msg);
+  void apply_pgmp_out(TimePoint now, PgmpOut&& out);
+  void apply_rmp_out(TimePoint now, RmpOut&& out);
+  void emit_install(TimePoint now, InstallOut&& install);
+
+  void begin_rebind(TimePoint now, const Message& connect_msg);
+  void progress_flush(TimePoint now);
+
+  ProcessorId self_;
+  ProcessorGroupId group_;
+  McastAddress group_addr_;
+  McastAddress domain_addr_;
+  Config config_;
+  Outbox& outbox_;
+
+  Rmp rmp_;
+  Romp romp_;
+  Pgmp pgmp_;
+
+  // Connect-rebind state (§7): flush watermark, retiring old address, and
+  // ordered sends queued during the flush.
+  std::optional<Timestamp> flush_ts_;
+  std::optional<McastAddress> old_addr_;
+  TimePoint old_addr_retire_at_ = 0;
+  // The ordered rebind Connect, re-multicast on the old address until the
+  // whole membership has demonstrably moved (a member that missed it would
+  // otherwise be stranded listening to a dead address).
+  ProcessorId rebind_src_{};
+  SeqNum rebind_seq_ = 0;
+  TimePoint last_rebind_resend_ = 0;
+  struct QueuedSend {
+    ConnectionId connection;
+    RequestNum request_num;
+    Bytes giop;
+  };
+  std::vector<QueuedSend> queued_sends_;
+  bool rebind_requested_ = false;
+
+  // Large-payload fragmentation (fragment.hpp).
+  std::uint64_t fragment_counter_ = 0;
+  Reassembler reassembler_;
+
+  // When this member was evicted (lame-duck bookkeeping).
+  std::optional<TimePoint> deactivated_at_;
+};
+
+}  // namespace ftcorba::ftmp

@@ -1,0 +1,154 @@
+// messages.hpp — bodies of the nine FTMP message types (§5–§7) and the
+// whole-message codec (header + body).
+//
+// Every body layout follows the paper's field lists verbatim; variable-
+// length sequences are encoded as a u32 count followed by the elements.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+#include "common/ids.hpp"
+#include "ftmp/wire.hpp"
+
+namespace ftcorba::ftmp {
+
+/// "timestamp of current membership" + "current membership" — the pair that
+/// Connect, AddProcessor, Suspect and Membership messages all carry (§7).
+struct MembershipInfo {
+  /// Timestamp of the most recent message delivered by the sender when the
+  /// membership was current.
+  Timestamp timestamp = 0;
+  /// The processor group membership at that timestamp.
+  std::vector<ProcessorId> members;
+
+  friend bool operator==(const MembershipInfo&, const MembershipInfo&) = default;
+};
+
+/// One (processor, sequence number) pair in a "current sequence numbers"
+/// vector (AddProcessor / Membership bodies).
+struct SourceSeq {
+  ProcessorId processor{};
+  SeqNum seq = 0;
+
+  friend bool operator==(const SourceSeq&, const SourceSeq&) = default;
+};
+
+/// Regular (§5): carries one encapsulated GIOP message, plus the logical-
+/// connection identifier and request number used for duplicate
+/// detection/suppression across replicas (§4).
+struct RegularBody {
+  ConnectionId connection{};
+  RequestNum request_num = 0;
+  /// The encapsulated GIOP message (Fig. 2's third layer), opaque to FTMP.
+  Bytes giop_message;
+
+  friend bool operator==(const RegularBody&, const RegularBody&) = default;
+};
+
+/// RetransmitRequest (§5): negative acknowledgment for a block of missing
+/// messages [start_seq, stop_seq] from `processor`.
+struct RetransmitRequestBody {
+  /// The source whose messages are missing.
+  ProcessorId processor{};
+  SeqNum start_seq = 0;
+  SeqNum stop_seq = 0;
+
+  friend bool operator==(const RetransmitRequestBody&, const RetransmitRequestBody&) = default;
+};
+
+/// Heartbeat (§5): empty body — all information (current sequence number,
+/// message timestamp, ack timestamp) rides in the header.
+struct HeartbeatBody {
+  friend bool operator==(const HeartbeatBody&, const HeartbeatBody&) = default;
+};
+
+/// ConnectRequest (§7): client infrastructure asks the server group for a
+/// logical connection; lists the processors supporting the client group.
+struct ConnectRequestBody {
+  ConnectionId connection{};
+  std::vector<ProcessorId> client_processors;
+
+  friend bool operator==(const ConnectRequestBody&, const ConnectRequestBody&) = default;
+};
+
+/// Connect (§7): server establishes a new connection or rebinds an existing
+/// one to a new multicast address / processor group.
+struct ConnectBody {
+  ConnectionId connection{};
+  ProcessorGroupId processor_group{};
+  McastAddress multicast_address{};
+  MembershipInfo current_membership;
+
+  friend bool operator==(const ConnectBody&, const ConnectBody&) = default;
+};
+
+/// AddProcessor (§7.1): adds a non-faulty processor; carries the sequence
+/// number of the most recent ordered message from each current member so the
+/// new member can construct the order from there on.
+struct AddProcessorBody {
+  MembershipInfo current_membership;
+  std::vector<SourceSeq> current_seqs;
+  ProcessorId new_member{};
+
+  friend bool operator==(const AddProcessorBody&, const AddProcessorBody&) = default;
+};
+
+/// RemoveProcessor (§7.1): removes a non-faulty processor; takes effect when
+/// the message is ordered.
+struct RemoveProcessorBody {
+  ProcessorId member_to_remove{};
+
+  friend bool operator==(const RemoveProcessorBody&, const RemoveProcessorBody&) = default;
+};
+
+/// Suspect (§7.2): the sender suspects the listed processors of being
+/// faulty; suspicions from enough members convict.
+struct SuspectBody {
+  MembershipInfo current_membership;
+  std::vector<ProcessorId> suspects;
+
+  friend bool operator==(const SuspectBody&, const SuspectBody&) = default;
+};
+
+/// Membership (§7.2): proposes a new membership excluding convicted
+/// processors; `current_seqs` holds, per current member, the highest
+/// sequence number such that the sender has that message and all smaller
+/// ones — survivors use it to equalize their message sets (virtual
+/// synchrony).
+struct MembershipBody {
+  MembershipInfo current_membership;
+  std::vector<SourceSeq> current_seqs;
+  std::vector<ProcessorId> new_membership;
+
+  friend bool operator==(const MembershipBody&, const MembershipBody&) = default;
+};
+
+/// Any FTMP message body.
+using Body = std::variant<RegularBody, RetransmitRequestBody, HeartbeatBody,
+                          ConnectRequestBody, ConnectBody, AddProcessorBody,
+                          RemoveProcessorBody, SuspectBody, MembershipBody>;
+
+/// A complete FTMP message: header + typed body.
+struct Message {
+  Header header;
+  Body body;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// The MessageType implied by a body alternative.
+[[nodiscard]] MessageType type_of(const Body& body);
+
+/// Encodes header + body into a wire datagram payload. Sets
+/// header.message_size and header.type from the actual encoding; the byte
+/// order used is header.byte_order.
+[[nodiscard]] Bytes encode_message(const Message& message);
+
+/// Decodes a wire datagram payload. Throws CodecError on malformed input
+/// (truncated, bad magic, type/body mismatch, trailing garbage).
+[[nodiscard]] Message decode_message(BytesView datagram);
+
+}  // namespace ftcorba::ftmp

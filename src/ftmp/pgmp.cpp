@@ -1,0 +1,555 @@
+#include "ftmp/pgmp.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ftcorba::ftmp {
+
+namespace {
+
+[[nodiscard]] std::vector<ProcessorId> sorted(std::vector<ProcessorId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+[[nodiscard]] bool contains(const std::vector<ProcessorId>& v, ProcessorId p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+[[nodiscard]] SeqNum seq_for(const std::vector<SourceSeq>& seqs, ProcessorId p) {
+  for (const SourceSeq& s : seqs) {
+    if (s.processor == p) return s.seq;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Pgmp::Pgmp(ProcessorId self, const Config& config, Rmp& rmp, Romp& romp)
+    : self_(self), config_(config), rmp_(rmp), romp_(romp) {}
+
+void Pgmp::bootstrap(TimePoint now, const std::vector<ProcessorId>& members) {
+  membership_.timestamp = 0;
+  membership_.members = sorted(members);
+  active_ = true;
+  for (ProcessorId m : membership_.members) {
+    rmp_.add_source(m, 0);
+    last_heard_[m] = now;
+  }
+  romp_.set_members(membership_.members);
+  InstallOut install;
+  install.change.reason = MembershipChanged::Reason::kInitial;
+  install.change.membership = membership_;
+  install.change.joined = membership_.members;
+  output_.emplace_back(std::move(install));
+}
+
+void Pgmp::init_from_add(TimePoint now, const Message& add_msg) {
+  const auto& body = std::get<AddProcessorBody>(add_msg.body);
+  membership_.members = sorted([&] {
+    auto ms = body.current_membership.members;
+    ms.push_back(body.new_member);
+    return ms;
+  }());
+  membership_.timestamp = add_msg.header.message_timestamp;
+  active_ = true;
+  // RMP streams resume from the sponsor's reported ordered positions; every
+  // message at or below them was already delivered before we joined.
+  for (ProcessorId m : body.current_membership.members) {
+    rmp_.add_source(m, seq_for(body.current_seqs, m));
+    last_heard_[m] = now;
+  }
+  rmp_.add_source(self_, 0);
+  romp_.set_members(membership_.members);
+  // Bounds: members' not-yet-ordered messages all carry timestamps above
+  // the membership timestamp (see romp.hpp's ordering argument), so it is a
+  // safe starting bound for everyone.
+  for (ProcessorId m : body.current_membership.members) {
+    romp_.add_member(m, body.current_membership.timestamp);
+  }
+  // The existing members take the AddProcessor's own timestamp as our
+  // starting bound, so our clock must already exceed it.
+  romp_.witness(add_msg.header.message_timestamp);
+  FTC_LOG(kDebug) << to_string(self_) << " init_from_add hdr_ts="
+                  << add_msg.header.message_timestamp
+                  << " body_ts=" << body.current_membership.timestamp
+                  << " seq=" << add_msg.header.sequence_number
+                  << " src=" << to_string(add_msg.header.source);
+  InstallOut install;
+  install.change.reason = MembershipChanged::Reason::kInitial;
+  install.change.membership = membership_;
+  install.change.joined = {self_};
+  output_.emplace_back(std::move(install));
+}
+
+void Pgmp::note_heard(ProcessorId src, TimePoint now) {
+  last_heard_[src] = now;
+  if (my_suspects_.contains(src) && !convicted_.contains(src)) {
+    // False suspicion (it spoke again before conviction): withdraw.
+    my_suspects_.erase(src);
+    SuspectBody body;
+    body.current_membership = membership_;
+    body.suspects.assign(my_suspects_.begin(), my_suspects_.end());
+    output_.emplace_back(SendBodyOut{std::move(body), /*reliable=*/true});
+    stats_.suspects_sent += 1;
+  }
+}
+
+std::optional<AddProcessorBody> Pgmp::make_add(ProcessorId new_member) const {
+  if (!active_ || reconfiguring()) return std::nullopt;
+  if (contains(membership_.members, new_member)) return std::nullopt;
+  if (adds_in_flight_.contains(new_member)) return std::nullopt;
+  for (const PendingJoin& j : pending_joins_) {
+    if (j.new_member == new_member) return std::nullopt;
+  }
+  AddProcessorBody body;
+  body.current_membership = membership_;
+  for (ProcessorId m : membership_.members) {
+    // consumed_up_to, not last_ordered_seq: the resume point must lie past
+    // any trailing control messages, which a joiner could neither recover
+    // (stability may have purged them) nor use (they are epoch-stale).
+    body.current_seqs.push_back({m, romp_.consumed_up_to(m)});
+  }
+  body.new_member = new_member;
+  return body;
+}
+
+std::optional<RemoveProcessorBody> Pgmp::make_remove(ProcessorId member) const {
+  if (!active_ || reconfiguring()) return std::nullopt;
+  if (!contains(membership_.members, member)) return std::nullopt;
+  return RemoveProcessorBody{member};
+}
+
+void Pgmp::note_add_sent(ProcessorId member, TimePoint now,
+                         const AddProcessorBody& body) {
+  adds_in_flight_[member] = now;
+  std::vector<std::pair<ProcessorId, SeqNum>> floors;
+  floors.reserve(body.current_seqs.size());
+  for (const SourceSeq& s : body.current_seqs) floors.emplace_back(s.processor, s.seq);
+  rmp_.pin_store(member.raw(), floors);
+}
+
+void Pgmp::on_add_ordered(TimePoint now, const Message& msg) {
+  const auto& body = std::get<AddProcessorBody>(msg.body);
+  const ProcessorId member = body.new_member;
+  adds_in_flight_.erase(member);
+  if (contains(membership_.members, member)) return;  // duplicate / self-join
+  membership_.members = sorted([&] {
+    auto ms = membership_.members;
+    ms.push_back(member);
+    return ms;
+  }());
+  // max(): a joiner may apply a pre-join AddProcessor after initializing
+  // from a later one; its epoch must not move backwards.
+  membership_.timestamp = std::max(membership_.timestamp, msg.header.message_timestamp);
+  // A re-adding member starts a NEW incarnation of its stream at sequence
+  // 1. Any stored messages from a previous incarnation alias the same
+  // (source, seq) keys and would poison retransmissions: purge them now,
+  // and cancel any pending deferred purge that could otherwise fire later
+  // and destroy the new incarnation's messages.
+  rmp_.purge_store(member);
+  for (auto it = deferred_purges_.begin(); it != deferred_purges_.end();) {
+    if (it->first == member) {
+      it = deferred_purges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  rmp_.add_source(member, 0, /*min_timestamp=*/msg.header.message_timestamp);
+  romp_.add_member(member, msg.header.message_timestamp);
+  last_heard_[member] = now;  // fault-timer grace while it bootstraps
+  FTC_LOG(kDebug) << to_string(self_) << " add_ordered " << to_string(member)
+                  << " hdr_ts=" << msg.header.message_timestamp
+                  << " seq=" << msg.header.sequence_number
+                  << " src=" << to_string(msg.header.source);
+  stats_.adds_completed += 1;
+  if (msg.header.source == self_) {
+    // We are the sponsor: keep re-multicasting the ordered AddProcessor
+    // until the new member speaks (it cannot NACK before it has joined, §5).
+    pending_joins_.push_back(
+        {member, msg.header.sequence_number, now, /*last_resend=*/0});
+  }
+  refresh_suspicions_after_change();
+  InstallOut install;
+  install.change.reason = MembershipChanged::Reason::kProcessorAdded;
+  install.change.membership = membership_;
+  install.change.joined = {member};
+  output_.emplace_back(std::move(install));
+}
+
+void Pgmp::on_remove_ordered(TimePoint now, const Message& msg) {
+  const auto& body = std::get<RemoveProcessorBody>(msg.body);
+  const ProcessorId member = body.member_to_remove;
+  if (!contains(membership_.members, member)) return;
+  membership_.members.erase(
+      std::remove(membership_.members.begin(), membership_.members.end(), member),
+      membership_.members.end());
+  membership_.timestamp = std::max(membership_.timestamp, msg.header.message_timestamp);
+  stats_.removes_completed += 1;
+  InstallOut install;
+  install.change.reason = MembershipChanged::Reason::kProcessorRemoved;
+  install.change.left = {member};
+  if (member == self_) {
+    active_ = false;
+    install.self_evicted = true;
+    install.change.membership = membership_;
+    output_.emplace_back(std::move(install));
+    return;
+  }
+  rmp_.remove_source(member);
+  rmp_.unpin_store(member.raw());  // in case it was a never-completed joiner
+  romp_.remove_member(member, /*drop_pending=*/true);
+  last_heard_.erase(member);
+  my_suspects_.erase(member);
+  // Keep its stored messages around for stragglers; purge after a few fault
+  // timeouts.
+  deferred_purges_.emplace_back(member, now + 4 * config_.fault_timeout);
+  refresh_suspicions_after_change();
+  install.change.membership = membership_;
+  output_.emplace_back(std::move(install));
+}
+
+void Pgmp::on_suspect(TimePoint now, const Message& msg) {
+  const ProcessorId src = msg.header.source;
+  auto floor_it = round_floor_.find(src);
+  if (floor_it != round_floor_.end() && msg.header.sequence_number <= floor_it->second) {
+    return;  // belongs to a completed round
+  }
+  const auto& body = std::get<SuspectBody>(msg.body);
+  if (body.current_membership.timestamp < membership_.timestamp) {
+    return;  // stale epoch (e.g. from before this member rejoined)
+  }
+  suspicion_[src] = std::set<ProcessorId>(body.suspects.begin(), body.suspects.end());
+  recompute_convicted(now);
+  try_complete(now);
+}
+
+void Pgmp::on_membership_msg(TimePoint now, const Message& msg) {
+  const ProcessorId src = msg.header.source;
+  auto floor_it = round_floor_.find(src);
+  if (floor_it != round_floor_.end() && msg.header.sequence_number <= floor_it->second) {
+    return;
+  }
+  const auto& body = std::get<MembershipBody>(msg.body);
+  if (body.current_membership.timestamp < membership_.timestamp) {
+    return;  // stale epoch
+  }
+  Proposal p;
+  p.new_membership = sorted(body.new_membership);
+  p.seqs = body.current_seqs;
+  p.msg_seq = msg.header.sequence_number;
+  p.msg_ts = msg.header.message_timestamp;
+  // A proposal is implicit suspicion of everyone it excludes.
+  auto& row = suspicion_[src];
+  for (ProcessorId m : body.current_membership.members) {
+    if (!contains(p.new_membership, m)) row.insert(m);
+  }
+  const bool excludes_self = !contains(p.new_membership, self_);
+  proposals_[src] = std::move(p);
+  recompute_convicted(now);
+
+  if (excludes_self && active_) {
+    // Enough distinct members excluding us means the rest of the group will
+    // proceed without us: treat as eviction.
+    std::size_t excluders = 0;
+    for (ProcessorId m : membership_.members) {
+      auto it = proposals_.find(m);
+      if (it != proposals_.end() && !contains(it->second.new_membership, self_)) {
+        ++excluders;
+      }
+    }
+    if (2 * excluders > membership_.members.size()) {
+      active_ = false;
+      InstallOut install;
+      install.self_evicted = true;
+      install.change.reason = MembershipChanged::Reason::kFault;
+      install.change.membership = membership_;
+      install.change.left = {self_};
+      output_.emplace_back(std::move(install));
+      return;
+    }
+  }
+  try_complete(now);
+}
+
+void Pgmp::recompute_convicted(TimePoint now) {
+  // Fixpoint of C = { q : every r in members \ C \ {q} suspects q },
+  // computed downward from C0 = everyone suspected by anyone. The downward
+  // direction matters: when several processors fail together, none of the
+  // dead "judges" can be required to vote on the others.
+  std::set<ProcessorId> c;
+  for (const auto& [r, suspects] : suspicion_) {
+    for (ProcessorId q : suspects) {
+      for (ProcessorId m : membership_.members) {
+        if (m == q) c.insert(q);
+      }
+    }
+  }
+  for (std::size_t iter = 0; iter <= membership_.members.size(); ++iter) {
+    std::set<ProcessorId> next;
+    for (ProcessorId q : c) {
+      bool all_suspect = true;
+      bool any_judge = false;
+      for (ProcessorId r : membership_.members) {
+        if (r == q || c.contains(r)) continue;
+        any_judge = true;
+        auto it = suspicion_.find(r);
+        if (it == suspicion_.end() || !it->second.contains(q)) {
+          all_suspect = false;
+          break;
+        }
+      }
+      // Judges are the members outside C; q itself never judges itself.
+      // When every member lands in C (total distrust) nobody can convict.
+      if (any_judge && all_suspect) next.insert(q);
+    }
+    if (next == c) break;
+    c = std::move(next);
+  }
+  if (c != convicted_) {
+    convicted_ = std::move(c);
+    maybe_send_membership(now);
+  }
+}
+
+std::vector<ProcessorId> Pgmp::proposal_from_convicted() const {
+  std::vector<ProcessorId> p;
+  for (ProcessorId m : membership_.members) {
+    if (!convicted_.contains(m)) p.push_back(m);
+  }
+  return p;
+}
+
+bool Pgmp::quorum(const std::vector<ProcessorId>& proposal) const {
+  const std::size_t n = membership_.members.size();
+  if (2 * proposal.size() > n) return true;
+  if (2 * proposal.size() == n && !membership_.members.empty()) {
+    // Exactly half: the side holding the smallest processor id wins.
+    return contains(proposal, membership_.members.front());
+  }
+  return false;
+}
+
+void Pgmp::maybe_send_membership(TimePoint now) {
+  (void)now;
+  if (convicted_.empty()) return;
+  const std::vector<ProcessorId> p = proposal_from_convicted();
+  if (p == my_last_proposal_) return;
+  my_last_proposal_ = p;
+  MembershipBody body;
+  body.current_membership = membership_;
+  for (ProcessorId m : membership_.members) {
+    body.current_seqs.push_back({m, own_contiguous(m)});
+  }
+  body.new_membership = p;
+  output_.emplace_back(SendBodyOut{std::move(body), /*reliable=*/true});
+  stats_.membership_msgs_sent += 1;
+}
+
+SeqNum Pgmp::own_contiguous(ProcessorId m) const {
+  if (m == self_) return std::max(rmp_.contiguous(self_), rmp_.last_sent());
+  return rmp_.contiguous(m);
+}
+
+void Pgmp::try_complete(TimePoint now) {
+  if (!active_ || convicted_.empty()) return;
+  const std::vector<ProcessorId> p = proposal_from_convicted();
+  if (!quorum(p)) return;  // minority partition: stall (primary-partition rule)
+  if (!contains(p, self_)) return;
+  // Need a matching proposal from every survivor.
+  for (ProcessorId r : p) {
+    auto it = proposals_.find(r);
+    if (it == proposals_.end() || it->second.new_membership != p) return;
+  }
+  // Compute the cut.
+  std::map<ProcessorId, SeqNum> cuts;
+  for (ProcessorId s : membership_.members) {
+    if (contains(p, s)) {
+      // Survivor: everything it sent before its Membership message.
+      cuts[s] = proposals_[s].msg_seq;
+    } else {
+      SeqNum cut = 0;
+      for (ProcessorId r : p) cut = std::max(cut, seq_for(proposals_[r].seqs, s));
+      cuts[s] = cut;
+    }
+  }
+  // Equalize: we must hold every message up to the cut ("all of the
+  // processors ... have received exactly the same messages", §7.2).
+  bool complete = true;
+  for (const auto& [s, cut] : cuts) {
+    if (rmp_.contiguous(s) < cut) {
+      rmp_.note_exists(now, s, cut);
+      complete = false;
+    }
+  }
+  if (!complete) return;  // NACK recovery in flight; retried from tick()
+
+  // Deliver the old-epoch remainder and install the new membership.
+  const std::set<ProcessorId> survivors(p.begin(), p.end());
+  InstallOut install;
+  install.remainder = romp_.drain_up_to_cut(cuts, survivors);
+
+  std::vector<ProcessorId> crashed;
+  Timestamp new_ts = membership_.timestamp;
+  for (ProcessorId r : p) new_ts = std::max(new_ts, proposals_[r].msg_ts);
+  for (ProcessorId m : membership_.members) {
+    if (survivors.contains(m)) continue;
+    crashed.push_back(m);
+    rmp_.remove_source(m);
+    rmp_.unpin_store(m.raw());
+    romp_.remove_member(m, /*drop_pending=*/false);
+    last_heard_.erase(m);
+    my_suspects_.erase(m);
+    deferred_purges_.emplace_back(m, now + 4 * config_.fault_timeout);
+    install.faults.push_back(FaultReport{{}, m});
+  }
+  membership_.members = p;
+  membership_.timestamp = new_ts;
+  for (ProcessorId r : p) round_floor_[r] = proposals_[r].msg_seq;
+  reset_round_state();
+
+  install.change.reason = MembershipChanged::Reason::kFault;
+  install.change.membership = membership_;
+  install.change.left = crashed;
+  stats_.recoveries_completed += 1;
+  output_.emplace_back(std::move(install));
+}
+
+void Pgmp::refresh_suspicions_after_change() {
+  // Control messages are epoch-guarded by the membership timestamp, so a
+  // suspicion announced under the previous membership no longer counts:
+  // drop the recorded matrix (each live suspecter re-announces, as we do
+  // below for ourselves) to keep fault detection live across concurrent
+  // membership changes.
+  suspicion_.clear();
+  if (my_suspects_.empty()) return;
+  SuspectBody body;
+  body.current_membership = membership_;
+  body.suspects.assign(my_suspects_.begin(), my_suspects_.end());
+  output_.emplace_back(SendBodyOut{std::move(body), /*reliable=*/true});
+  stats_.suspects_sent += 1;
+}
+
+void Pgmp::reset_round_state() {
+  suspicion_.clear();
+  proposals_.clear();
+  convicted_.clear();
+  my_last_proposal_.clear();
+  my_suspects_.clear();
+  suspects_since_.reset();
+}
+
+void Pgmp::tick(TimePoint now) {
+  if (!active_) return;
+  // Fault detector: nothing heard within the timeout -> suspect.
+  bool suspects_changed = false;
+  for (ProcessorId m : membership_.members) {
+    if (m == self_ || my_suspects_.contains(m)) continue;
+    auto it = last_heard_.find(m);
+    const TimePoint heard = it == last_heard_.end() ? 0 : it->second;
+    if (now - heard > config_.fault_timeout) {
+      my_suspects_.insert(m);
+      suspects_changed = true;
+    }
+  }
+  if (suspects_changed) {
+    SuspectBody body;
+    body.current_membership = membership_;
+    body.suspects.assign(my_suspects_.begin(), my_suspects_.end());
+    output_.emplace_back(SendBodyOut{std::move(body), /*reliable=*/true});
+    stats_.suspects_sent += 1;
+  }
+  if (my_suspects_.empty()) {
+    suspects_since_.reset();
+  } else if (!suspects_since_) {
+    suspects_since_ = now;
+  }
+  // Recovery may now be completable (NACK recovery finished).
+  try_complete(now);
+
+  // Stranding detection: suspicions that never resolve mean the rest of
+  // the group has moved to an epoch we cannot reach (e.g. it removed a
+  // member whose liveness information we still need, and the lame-duck
+  // window has passed). Give up and report self-eviction so the fault-
+  // tolerance infrastructure can rejoin this processor cleanly.
+  if (active_ && suspects_since_ && now - *suspects_since_ > 10 * config_.fault_timeout) {
+    active_ = false;
+    InstallOut install;
+    install.self_evicted = true;
+    install.change.reason = MembershipChanged::Reason::kFault;
+    install.change.membership = membership_;
+    install.change.left = {self_};
+    output_.emplace_back(std::move(install));
+    return;
+  }
+
+  // Sponsor-side join retransmissions.
+  for (auto it = pending_joins_.begin(); it != pending_joins_.end();) {
+    auto heard = last_heard_.find(it->new_member);
+    if (heard != last_heard_.end() && heard->second > it->started) {
+      rmp_.unpin_store(it->new_member.raw());  // joiner is live: pin released
+      it = pending_joins_.erase(it);
+      continue;
+    }
+    if (now - it->last_resend >= config_.join_retry_interval) {
+      it->last_resend = now;
+      output_.emplace_back(ResendStoredOut{self_, it->add_seq});
+    }
+    ++it;
+  }
+
+  // An AddProcessor that never ordered (e.g. swallowed by a concurrent
+  // fault recovery) may be retried after a generous window.
+  for (auto it = adds_in_flight_.begin(); it != adds_in_flight_.end();) {
+    if (now - it->second > 10 * config_.fault_timeout) {
+      rmp_.unpin_store(it->first.raw());  // abandoned join: drop its pin
+      it = adds_in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Deferred purges of removed members' stored messages.
+  for (auto it = deferred_purges_.begin(); it != deferred_purges_.end();) {
+    if (now >= it->second) {
+      rmp_.purge_store(it->first);
+      it = deferred_purges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string Pgmp::debug_string() const {
+  std::string out = "members{";
+  for (ProcessorId m : membership_.members) out += to_string(m) + " ";
+  out += "} ts=" + std::to_string(membership_.timestamp);
+  out += " convicted{";
+  for (ProcessorId c : convicted_) out += to_string(c) + " ";
+  out += "} my_suspects{";
+  for (ProcessorId s : my_suspects_) out += to_string(s) + " ";
+  out += "} proposals{";
+  for (const auto& [src, p] : proposals_) {
+    out += to_string(src) + ":[";
+    for (ProcessorId m : p.new_membership) out += to_string(m) + " ";
+    out += "]@" + std::to_string(p.msg_seq) + " ";
+  }
+  out += "} suspicion{";
+  for (const auto& [src, row] : suspicion_) {
+    out += to_string(src) + ":(";
+    for (ProcessorId s : row) out += to_string(s) + " ";
+    out += ") ";
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<PgmpOut> Pgmp::take_output() {
+  std::vector<PgmpOut> out;
+  out.swap(output_);
+  return out;
+}
+
+}  // namespace ftcorba::ftmp

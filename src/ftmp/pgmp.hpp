@@ -1,0 +1,241 @@
+// pgmp.hpp — the Processor Group Membership Protocol layer (§7) for one
+// processor group: planned membership changes (AddProcessor /
+// RemoveProcessor, which ride the total order), and fault-driven changes
+// (Suspect -> conviction -> Membership exchange -> virtually synchronous
+// cut), plus the fault detector fed by heartbeat receipt.
+//
+// Conviction rule. Suspicions from Suspect messages (reliable, source
+// ordered) form a matrix: suspicion[r] = the set r currently suspects.
+// The convicted set C is the least fixpoint of
+//     C = { q in members : every r in members \ C suspects q },
+// i.e. the processors that everyone still standing agrees are faulty. The
+// paper leaves the exact heuristic open ("Suspect messages are used in
+// conjunction with heuristic algorithms"); this unanimity-of-the-living
+// rule is simple, deterministic and converges because Suspect messages are
+// reliable.
+//
+// Recovery round. Once C is non-empty, each survivor multicasts a
+// Membership message proposing P = members \ C and reporting its contiguous
+// sequence numbers. When Membership messages proposing exactly P have been
+// received from every member of P, the cut is computed: for survivor s,
+// cut(s) = the seq of s's own Membership message; for crashed c, cut(c) =
+// max over survivors' reported current_seqs[c]. Each survivor NACK-recovers
+// anything below the cut it lacks ("request retransmission of any message
+// ... that some other processor of that membership has received", §7.2),
+// delivers the old-epoch remainder in timestamp order, and installs P —
+// all survivors deliver exactly the same messages (virtual synchrony).
+//
+// Partitions. A proposal is only installed if it contains more than half of
+// the old membership (or exactly half including the smallest processor id),
+// so at most one side of a partition continues — primary-partition
+// semantics. A minority stalls, exactly as §7's "the ordering of messages
+// stops" describes. (Known simplification, recorded in DESIGN.md: a second
+// fault arriving in the narrow window after some survivors complete a round
+// and before others do is resolved by a fresh round and can, in adversarial
+// schedules, deliver the overlap in different orders; the paper does not
+// specify this case.)
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "ftmp/config.hpp"
+#include "ftmp/events.hpp"
+#include "ftmp/messages.hpp"
+#include "ftmp/rmp.hpp"
+#include "ftmp/romp.hpp"
+
+namespace ftcorba::ftmp {
+
+/// PGMP asks the session to stamp and multicast a protocol message.
+struct SendBodyOut {
+  Body body;
+  bool reliable = true;
+};
+
+/// PGMP asks the session to re-multicast a stored encoded message verbatim
+/// (sponsor retransmitting an AddProcessor toward a new member that cannot
+/// NACK yet).
+struct ResendStoredOut {
+  ProcessorId source{};
+  SeqNum seq = 0;
+};
+
+/// A completed membership change: Regular messages from the old epoch that
+/// were delivered as part of the cut, the membership event, and fault
+/// reports for convicted processors.
+struct InstallOut {
+  std::vector<Message> remainder;  ///< old-epoch Regular messages, in order
+  MembershipChanged change;
+  std::vector<FaultReport> faults;
+  bool self_evicted = false;
+};
+
+/// Any PGMP output, drained by the session.
+using PgmpOut = std::variant<SendBodyOut, ResendStoredOut, InstallOut>;
+
+/// Counters for tests and the E5 bench.
+struct PgmpStats {
+  std::uint64_t suspects_sent = 0;
+  std::uint64_t membership_msgs_sent = 0;
+  std::uint64_t recoveries_completed = 0;
+  std::uint64_t adds_completed = 0;
+  std::uint64_t removes_completed = 0;
+};
+
+/// Membership protocol for one processor group on one processor.
+class Pgmp {
+ public:
+  /// `rmp` and `romp` are the sibling layers of the same group session;
+  /// PGMP queries stream state from RMP and performs epoch surgery on both.
+  Pgmp(ProcessorId self, const Config& config, Rmp& rmp, Romp& romp);
+
+  // ---- lifecycle ----
+
+  /// Installs the bootstrap membership (all founding members call this with
+  /// the same member list).
+  void bootstrap(TimePoint now, const std::vector<ProcessorId>& members);
+
+  /// Initializes this processor as the new member named by an ordered
+  /// AddProcessor message it received (sponsor keeps retransmitting it
+  /// until we speak). Sets up RMP sources from the body's sequence numbers
+  /// and ROMP bounds from the membership timestamp.
+  void init_from_add(TimePoint now, const Message& add_msg);
+
+  /// Current membership (timestamp + sorted members).
+  [[nodiscard]] const MembershipInfo& membership() const { return membership_; }
+
+  /// False once this processor has been evicted from the group.
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// True while a fault-recovery round is in progress (ordering stalled).
+  [[nodiscard]] bool reconfiguring() const { return !convicted_.empty(); }
+
+  // ---- fault detector ----
+
+  /// Notes that a packet from `src` arrived (resets its fault timer and
+  /// withdraws any suspicion of it that has not yet led to conviction).
+  void note_heard(ProcessorId src, TimePoint now);
+
+  // ---- planned membership changes (§7.1) ----
+
+  /// Starts adding `new_member`: returns the AddProcessor body to be sent
+  /// as a totally-ordered message, or nullopt if the member already belongs
+  /// / a recovery is in progress (the paper's protocol for planned changes
+  /// assumes no faulty processors).
+  [[nodiscard]] std::optional<AddProcessorBody> make_add(ProcessorId new_member) const;
+
+  /// Starts removing `member` (planned, non-faulty): returns the
+  /// RemoveProcessor body, or nullopt if not a member / recovery running.
+  [[nodiscard]] std::optional<RemoveProcessorBody> make_remove(ProcessorId member) const;
+
+  /// Records that an AddProcessor for `member` was multicast at `now`;
+  /// make_add refuses another for the same member until it is ordered or a
+  /// retry window passes (guards against add storms when callers retry).
+  /// Also pins this (sponsor) processor's retransmission store above the
+  /// body's resume points so stability cannot purge messages the joiner
+  /// will need (see Rmp::pin_store).
+  void note_add_sent(ProcessorId member, TimePoint now, const AddProcessorBody& body);
+
+  /// An ordered AddProcessor was delivered: applies the membership change.
+  /// If this processor is the sponsor (the message's source), it starts
+  /// retransmitting the stored message toward the new member.
+  void on_add_ordered(TimePoint now, const Message& msg);
+
+  /// An ordered RemoveProcessor was delivered: applies the change; may mark
+  /// self evicted.
+  void on_remove_ordered(TimePoint now, const Message& msg);
+
+  // ---- fault-driven membership changes (§7.2) ----
+
+  /// A Suspect message arrived (reliable, source order): updates the
+  /// suspicion matrix and may start/extend a recovery round.
+  void on_suspect(TimePoint now, const Message& msg);
+
+  /// A Membership message arrived (reliable, source order): records the
+  /// sender's proposal and stream report; may complete the round.
+  void on_membership_msg(TimePoint now, const Message& msg);
+
+  // ---- periodic work ----
+
+  /// Fault-timeout scan, recovery progress checks, join retransmissions.
+  void tick(TimePoint now);
+
+  /// Drains queued outputs.
+  [[nodiscard]] std::vector<PgmpOut> take_output();
+
+  /// Layer counters.
+  [[nodiscard]] const PgmpStats& stats() const { return stats_; }
+
+  /// One-line diagnostic dump of the membership/recovery state (logs,
+  /// tooling, postmortems).
+  [[nodiscard]] std::string debug_string() const;
+
+ private:
+  struct Proposal {
+    std::vector<ProcessorId> new_membership;  // sorted
+    std::vector<SourceSeq> seqs;
+    SeqNum msg_seq = 0;      // header seq of the Membership message
+    Timestamp msg_ts = 0;    // header timestamp of the Membership message
+  };
+  struct PendingJoin {
+    ProcessorId new_member{};
+    SeqNum add_seq = 0;      // seq of the ordered AddProcessor (ours)
+    TimePoint started = 0;
+    TimePoint last_resend = 0;
+  };
+
+  void recompute_convicted(TimePoint now);
+  void refresh_suspicions_after_change();
+  void maybe_send_membership(TimePoint now);
+  void try_complete(TimePoint now);
+  [[nodiscard]] std::vector<ProcessorId> proposal_from_convicted() const;
+  [[nodiscard]] bool quorum(const std::vector<ProcessorId>& proposal) const;
+  void reset_round_state();
+  [[nodiscard]] SeqNum own_contiguous(ProcessorId m) const;
+
+  ProcessorId self_;
+  Config config_;
+  Rmp& rmp_;
+  Romp& romp_;
+
+  bool active_ = false;
+  MembershipInfo membership_;
+
+  // Fault detector.
+  std::unordered_map<ProcessorId, TimePoint> last_heard_;
+  std::set<ProcessorId> my_suspects_;
+  // When my_suspects_ last became non-empty; if no recovery completes
+  // within the stranding window the processor gives up and self-evicts
+  // (it is likely alone in an epoch the rest of the group left behind).
+  std::optional<TimePoint> suspects_since_;
+
+  // Suspicion matrix and proposals for the current recovery round. Entries
+  // with header seq <= round_floor_[src] belong to completed rounds and are
+  // ignored.
+  std::unordered_map<ProcessorId, std::set<ProcessorId>> suspicion_;
+  std::unordered_map<ProcessorId, Proposal> proposals_;
+  std::unordered_map<ProcessorId, SeqNum> round_floor_;
+  std::set<ProcessorId> convicted_;
+  std::vector<ProcessorId> my_last_proposal_;
+
+  // Sponsor-side pending joins.
+  std::vector<PendingJoin> pending_joins_;
+  // AddProcessor messages sent but not yet ordered: member -> send time.
+  std::unordered_map<ProcessorId, TimePoint> adds_in_flight_;
+
+  // Removed members whose stored messages are purged once no survivor can
+  // still need them (lagging members recover via NACK for a while).
+  std::vector<std::pair<ProcessorId, TimePoint>> deferred_purges_;
+
+  std::vector<PgmpOut> output_;
+  PgmpStats stats_;
+};
+
+}  // namespace ftcorba::ftmp

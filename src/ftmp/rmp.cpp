@@ -1,0 +1,259 @@
+#include "ftmp/rmp.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ftcorba::ftmp {
+
+namespace {
+// Byte offset of the retransmission flag in the encoded header:
+// magic(4) + version(2) + byte-order(1).
+constexpr std::size_t kRetransFlagOffset = 7;
+// At most this many messages are retransmitted per RetransmitRequest; the
+// requester re-NACKs for the remainder (bounds burst size).
+constexpr std::size_t kMaxRetransmitBurst = 64;
+// At most this many missing blocks are NACKed per source per tick.
+constexpr std::size_t kMaxNackRunsPerTick = 16;
+}  // namespace
+
+Rmp::Rmp(ProcessorId self, const Config& config) : self_(self), config_(config) {}
+
+void Rmp::add_source(ProcessorId src, SeqNum expect_after, Timestamp min_timestamp) {
+  SourceState st;
+  st.contiguous = expect_after;
+  st.highest_seen = expect_after;
+  st.min_timestamp = min_timestamp;
+  sources_.insert_or_assign(src, std::move(st));
+}
+
+void Rmp::remove_source(ProcessorId src) { sources_.erase(src); }
+
+void Rmp::purge_store(ProcessorId src) {
+  auto it = store_.lower_bound({src.raw(), 0});
+  while (it != store_.end() && it->first.first == src.raw()) {
+    stored_bytes_ -= it->second.size();
+    it = store_.erase(it);
+  }
+  auto rt = last_retransmit_.lower_bound({src.raw(), 0});
+  while (rt != last_retransmit_.end() && rt->first.first == src.raw()) {
+    rt = last_retransmit_.erase(rt);
+  }
+}
+
+bool Rmp::has_source(ProcessorId src) const { return sources_.contains(src); }
+
+std::vector<ProcessorId> Rmp::sources() const {
+  std::vector<ProcessorId> out;
+  out.reserve(sources_.size());
+  for (const auto& [src, st] : sources_) out.push_back(src);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SeqNum Rmp::contiguous(ProcessorId src) const {
+  auto it = sources_.find(src);
+  return it == sources_.end() ? 0 : it->second.contiguous;
+}
+
+SeqNum Rmp::highest_seen(ProcessorId src) const {
+  auto it = sources_.find(src);
+  return it == sources_.end() ? 0 : it->second.highest_seen;
+}
+
+bool Rmp::complete(ProcessorId src) const {
+  auto it = sources_.find(src);
+  return it == sources_.end() || it->second.contiguous == it->second.highest_seen;
+}
+
+void Rmp::store(ProcessorId src, SeqNum seq, BytesView raw) {
+  auto key = std::make_pair(src.raw(), seq);
+  if (store_.contains(key)) return;
+  Bytes copy(raw.begin(), raw.end());
+  // Pre-set the retransmission flag so stored copies can be re-multicast
+  // verbatim ("The retransmitted message is identical to the original", §5 —
+  // except for this flag, which is "true for all subsequent
+  // retransmissions", §3.2).
+  if (copy.size() > kRetransFlagOffset) copy[kRetransFlagOffset] = 1;
+  stored_bytes_ += copy.size();
+  store_.emplace(key, std::move(copy));
+}
+
+std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw) {
+  const ProcessorId src = msg.header.source;
+  const SeqNum seq = msg.header.sequence_number;
+  auto it = sources_.find(src);
+  if (it == sources_.end()) {
+    stats_.dropped_unknown_source += 1;
+    return {};
+  }
+  SourceState& st = it->second;
+
+  if (msg.header.message_timestamp <= st.min_timestamp) {
+    // A straggler from a previous incarnation of this source id (e.g. a
+    // retransmission served by a member that has not yet processed the
+    // re-add): poisonous if accepted into the fresh stream.
+    stats_.dropped_stale_incarnation += 1;
+    return {};
+  }
+  if (seq <= st.contiguous || st.out_of_order.contains(seq)) {
+    stats_.duplicates_ignored += 1;
+    return {};
+  }
+
+  store(src, seq, raw);
+  st.highest_seen = std::max(st.highest_seen, seq);
+
+  std::vector<Message> deliver;
+  if (seq == st.contiguous + 1) {
+    st.contiguous = seq;
+    stats_.delivered_in_order += 1;
+    deliver.push_back(std::move(msg));
+    // Drain any buffered messages that are now contiguous.
+    auto next = st.out_of_order.find(st.contiguous + 1);
+    while (next != st.out_of_order.end()) {
+      st.contiguous = next->first;
+      stats_.delivered_in_order += 1;
+      deliver.push_back(std::move(next->second));
+      st.out_of_order.erase(next);
+      next = st.out_of_order.find(st.contiguous + 1);
+    }
+  } else {
+    if (config_.max_out_of_order_buffer == 0 ||
+        st.out_of_order.size() < config_.max_out_of_order_buffer) {
+      st.out_of_order.emplace(seq, std::move(msg));
+    }
+    queue_nacks(now, st, src);
+  }
+  return deliver;
+}
+
+void Rmp::on_heartbeat(TimePoint now, const Header& header) {
+  auto it = sources_.find(header.source);
+  if (it == sources_.end()) return;
+  SourceState& st = it->second;
+  // "The purpose of a Heartbeat message is to provide the other members ...
+  // with the sender's current sequence number" (§5): it reveals gaps even
+  // when the tail messages themselves were lost.
+  if (header.sequence_number > st.highest_seen) {
+    st.highest_seen = header.sequence_number;
+  }
+  if (st.highest_seen > st.contiguous) queue_nacks(now, st, header.source);
+}
+
+void Rmp::on_retransmit_request(TimePoint now, const RetransmitRequestBody& body) {
+  const ProcessorId src = body.processor;
+  if (!config_.any_holder_retransmit && src != self_) return;
+  std::size_t sent = 0;
+  for (SeqNum seq = body.start_seq; seq <= body.stop_seq && sent < kMaxRetransmitBurst; ++seq) {
+    auto key = std::make_pair(src.raw(), seq);
+    auto it = store_.find(key);
+    if (it == store_.end()) continue;
+    auto last = last_retransmit_.find(key);
+    if (last != last_retransmit_.end() &&
+        now - last->second < config_.retransmit_interval) {
+      continue;  // someone (maybe us) answered this very recently
+    }
+    last_retransmit_[key] = now;
+    output_.emplace_back(RetransmitOut{it->second});
+    stats_.retransmissions_sent += 1;
+    ++sent;
+  }
+}
+
+void Rmp::queue_nacks(TimePoint now, SourceState& st, ProcessorId src) {
+  if (now - st.last_nack < config_.nack_interval) return;
+  st.last_nack = now;
+  // Walk the gap structure: missing runs between contiguous+1 and
+  // highest_seen, skipping seqs buffered out of order.
+  SeqNum cursor = st.contiguous + 1;
+  std::size_t runs = 0;
+  auto buffered = st.out_of_order.begin();
+  while (cursor <= st.highest_seen && runs < kMaxNackRunsPerTick) {
+    while (buffered != st.out_of_order.end() && buffered->first < cursor) ++buffered;
+    SeqNum run_end;
+    if (buffered != st.out_of_order.end() && buffered->first <= st.highest_seen) {
+      if (buffered->first == cursor) {  // not missing; skip the buffered run
+        while (buffered != st.out_of_order.end() && buffered->first == cursor) {
+          ++cursor;
+          ++buffered;
+        }
+        continue;
+      }
+      run_end = buffered->first - 1;
+    } else {
+      run_end = st.highest_seen;
+    }
+    output_.emplace_back(NackOut{src, cursor, run_end});
+    stats_.nacks_sent += 1;
+    ++runs;
+    cursor = run_end + 1;
+  }
+}
+
+void Rmp::detect_gaps(TimePoint now, SourceState& st, ProcessorId src) {
+  if (st.highest_seen > st.contiguous) queue_nacks(now, st, src);
+}
+
+void Rmp::on_tick(TimePoint now) {
+  for (auto& [src, st] : sources_) detect_gaps(now, st, src);
+}
+
+void Rmp::note_exists(TimePoint now, ProcessorId src, SeqNum seq) {
+  auto it = sources_.find(src);
+  if (it == sources_.end()) return;
+  SourceState& st = it->second;
+  if (seq > st.highest_seen) st.highest_seen = seq;
+  if (st.highest_seen > st.contiguous) queue_nacks(now, st, src);
+}
+
+std::optional<BytesView> Rmp::stored(ProcessorId src, SeqNum seq) const {
+  auto it = store_.find({src.raw(), seq});
+  if (it == store_.end()) return std::nullopt;
+  return BytesView{it->second};
+}
+
+void Rmp::pin_store(std::uint32_t token,
+                    const std::vector<std::pair<ProcessorId, SeqNum>>& floors) {
+  auto& pin = pins_[token];
+  for (const auto& [src, floor] : floors) {
+    auto it = pin.find(src.raw());
+    if (it == pin.end() || floor < it->second) pin[src.raw()] = floor;
+  }
+}
+
+void Rmp::unpin_store(std::uint32_t token) { pins_.erase(token); }
+
+void Rmp::release(ProcessorId src, SeqNum up_to) {
+  // Stability release stops at any active pin floor for this source.
+  for (const auto& [token, pin] : pins_) {
+    auto it = pin.find(src.raw());
+    if (it != pin.end() && it->second < up_to) up_to = it->second;
+  }
+  auto it = store_.lower_bound({src.raw(), 0});
+  while (it != store_.end() && it->first.first == src.raw() && it->first.second <= up_to) {
+    stored_bytes_ -= it->second.size();
+    it = store_.erase(it);
+  }
+  auto rt = last_retransmit_.lower_bound({src.raw(), 0});
+  while (rt != last_retransmit_.end() && rt->first.first == src.raw() &&
+         rt->first.second <= up_to) {
+    rt = last_retransmit_.erase(rt);
+  }
+}
+
+std::vector<RmpOut> Rmp::take_output() {
+  std::vector<RmpOut> out;
+  out.swap(output_);
+  return out;
+}
+
+std::size_t Rmp::stored_count() const { return store_.size(); }
+
+std::size_t Rmp::out_of_order_count() const {
+  std::size_t n = 0;
+  for (const auto& [src, st] : sources_) n += st.out_of_order.size();
+  return n;
+}
+
+}  // namespace ftcorba::ftmp

@@ -1,0 +1,212 @@
+// rmp.hpp — the Reliable Multicast Protocol layer (§5): per-source sequence
+// numbers, gap detection, negative acknowledgments (RetransmitRequest),
+// retransmission by any processor that holds a message, and source-ordered
+// delivery to ROMP.
+//
+// One Rmp instance serves one processor group on one processor. The class
+// is sans-IO: inputs are decoded messages plus the current time; outputs
+// (messages to deliver upward, NACKs and retransmissions to send) are
+// drained by the owning GroupSession, which stamps headers and encodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "ftmp/config.hpp"
+#include "ftmp/messages.hpp"
+
+namespace ftcorba::ftmp {
+
+/// RMP asks the session to multicast a RetransmitRequest for a block of
+/// messages missing from `missing_from`.
+struct NackOut {
+  ProcessorId missing_from{};
+  SeqNum start = 0;
+  SeqNum stop = 0;
+};
+
+/// RMP asks the session to re-multicast a stored message verbatim (the
+/// retransmission flag has already been set in `raw`).
+struct RetransmitOut {
+  Bytes raw;
+};
+
+/// An output produced by the RMP layer itself.
+using RmpOut = std::variant<NackOut, RetransmitOut>;
+
+/// Counters for the E4 bench and tests.
+struct RmpStats {
+  std::uint64_t duplicates_ignored = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t retransmissions_sent = 0;
+  std::uint64_t dropped_unknown_source = 0;
+  std::uint64_t dropped_stale_incarnation = 0;
+  std::uint64_t delivered_in_order = 0;
+};
+
+/// Reliable source-ordered multicast (one group, one processor).
+class Rmp {
+ public:
+  Rmp(ProcessorId self, const Config& config);
+
+  // ---- source (sender stream) management, driven by membership ----
+
+  /// Starts tracking `src`; the first expected sequence number is
+  /// `expect_after + 1` (a brand-new source starts at 1, so pass 0; a
+  /// joining member passes the seq from the AddProcessor body).
+  /// `min_timestamp` guards against incarnation aliasing: reliable
+  /// messages from `src` with header timestamp <= it are rejected (a
+  /// re-added member's legitimate messages all exceed its AddProcessor's
+  /// timestamp, which it witnessed; straggler retransmissions from the
+  /// previous incarnation do not).
+  void add_source(ProcessorId src, SeqNum expect_after, Timestamp min_timestamp = 0);
+
+  /// Stops tracking `src`'s stream and discards its out-of-order buffer.
+  /// Stored (retransmittable) copies of its messages are kept so lagging
+  /// members can still recover them; call purge_store later to drop those.
+  void remove_source(ProcessorId src);
+
+  /// Drops every stored message originated by `src` (after a removed
+  /// member's messages can no longer be needed by any survivor).
+  void purge_store(ProcessorId src);
+
+  /// True if `src` is currently tracked.
+  [[nodiscard]] bool has_source(ProcessorId src) const;
+
+  /// Tracked sources.
+  [[nodiscard]] std::vector<ProcessorId> sources() const;
+
+  /// Highest sequence number received contiguously (no gaps before it)
+  /// from `src`. This is the value reported in Membership bodies.
+  [[nodiscard]] SeqNum contiguous(ProcessorId src) const;
+
+  /// Highest sequence number seen at all from `src` (possibly with gaps).
+  [[nodiscard]] SeqNum highest_seen(ProcessorId src) const;
+
+  /// True when no gaps exist for `src` (contiguous == highest seen).
+  [[nodiscard]] bool complete(ProcessorId src) const;
+
+  // ---- sending side ----
+
+  /// Allocates the next sequence number for an outgoing reliable message.
+  [[nodiscard]] SeqNum assign_seq() { return ++last_sent_; }
+
+  /// Sequence number of the most recent reliable message sent (carried in
+  /// Heartbeat and RetransmitRequest headers).
+  [[nodiscard]] SeqNum last_sent() const { return last_sent_; }
+
+  /// Overrides the send sequence counter (used when a joining member
+  /// resumes a stream, e.g. in tests).
+  void set_last_sent(SeqNum s) { last_sent_ = s; }
+
+  /// Stores an encoded reliable message (own or received) so it can answer
+  /// future RetransmitRequests. Keyed by (original source, seq).
+  void store(ProcessorId src, SeqNum seq, BytesView raw);
+
+  /// Records that this processor multicast something to the group at `now`
+  /// (resets the heartbeat timer).
+  void note_sent(TimePoint now) { last_sent_time_ = now; }
+
+  /// True if a Heartbeat should be multicast now (§5: nothing multicast
+  /// within the heartbeat interval).
+  [[nodiscard]] bool heartbeat_due(TimePoint now) const {
+    return now - last_sent_time_ >= config_.heartbeat_interval;
+  }
+
+  // ---- receiving side ----
+
+  /// Handles a reliable message (Regular, Connect, AddProcessor,
+  /// RemoveProcessor, Suspect, Membership). Returns the messages that are
+  /// now deliverable in source order (possibly empty, possibly several when
+  /// a gap fills). May queue NACKs.
+  [[nodiscard]] std::vector<Message> on_reliable(TimePoint now, Message msg, BytesView raw);
+
+  /// Handles a Heartbeat header: updates gap knowledge from the carried
+  /// sequence number and schedules NACKs for revealed gaps. The heartbeat
+  /// itself is passed to ROMP by the session (unreliable direct delivery).
+  void on_heartbeat(TimePoint now, const Header& header);
+
+  /// Handles a RetransmitRequest: queues retransmissions of stored
+  /// messages in the requested range, subject to the any-holder policy and
+  /// rate limit.
+  void on_retransmit_request(TimePoint now, const RetransmitRequestBody& body);
+
+  /// Periodic maintenance: re-issues NACKs for still-missing blocks.
+  void on_tick(TimePoint now);
+
+  /// Raises gap knowledge: some message (src, seq) is known to exist (e.g.
+  /// cited in a Membership body's current sequence numbers) even though no
+  /// packet carrying that seq was seen. Triggers NACK-based recovery so
+  /// survivors equalize their message sets during a membership change.
+  void note_exists(TimePoint now, ProcessorId src, SeqNum seq);
+
+  /// Returns the stored encoded message for (src, seq) if this processor
+  /// holds it (retransmission flag pre-set). Used by the sponsor to
+  /// re-multicast an AddProcessor toward a new member.
+  [[nodiscard]] std::optional<BytesView> stored(ProcessorId src, SeqNum seq) const;
+
+  /// Pins the store on behalf of a joining member (`token`): messages from
+  /// each listed source above its listed sequence number are exempt from
+  /// stability release until unpin_store(token). Closes the race where a
+  /// message between the AddProcessor's resume point and the join becoming
+  /// effective is purged group-wide before the joiner can fetch it.
+  void pin_store(std::uint32_t token, const std::vector<std::pair<ProcessorId, SeqNum>>& floors);
+
+  /// Drops the pin installed under `token` (the joiner has caught up or
+  /// the join was abandoned).
+  void unpin_store(std::uint32_t token);
+
+  /// Releases stored copies of `src`'s messages with seq <= `up_to`
+  /// (called by ROMP when they become stable, §6 buffer management).
+  void release(ProcessorId src, SeqNum up_to);
+
+  /// Drains the NACK/retransmission outputs queued since the last call.
+  [[nodiscard]] std::vector<RmpOut> take_output();
+
+  // ---- introspection (tests, E7 bench) ----
+
+  /// Bytes currently held in the retransmission store.
+  [[nodiscard]] std::size_t stored_bytes() const { return stored_bytes_; }
+  /// Messages currently held in the retransmission store.
+  [[nodiscard]] std::size_t stored_count() const;
+  /// Messages buffered out-of-order (received, awaiting gap fill).
+  [[nodiscard]] std::size_t out_of_order_count() const;
+  /// Layer counters.
+  [[nodiscard]] const RmpStats& stats() const { return stats_; }
+
+ private:
+  struct SourceState {
+    SeqNum contiguous = 0;    // all seqs <= this received
+    SeqNum highest_seen = 0;  // max seq observed (gaps possible)
+    Timestamp min_timestamp = 0;  // incarnation floor (see add_source)
+    std::map<SeqNum, Message> out_of_order;
+    TimePoint last_nack = -1'000'000'000;
+  };
+
+  void detect_gaps(TimePoint now, SourceState& st, ProcessorId src);
+  void queue_nacks(TimePoint now, SourceState& st, ProcessorId src);
+
+  ProcessorId self_;
+  Config config_;
+  SeqNum last_sent_ = 0;
+  TimePoint last_sent_time_ = 0;
+  std::unordered_map<ProcessorId, SourceState> sources_;
+  // Retransmission store: (source, seq) -> encoded message with the
+  // retransmission flag pre-set.
+  std::map<std::pair<std::uint32_t, SeqNum>, Bytes> store_;
+  // Active store pins: token -> (source -> keep messages with seq > floor).
+  std::map<std::uint32_t, std::map<std::uint32_t, SeqNum>> pins_;
+  std::map<std::pair<std::uint32_t, SeqNum>, TimePoint> last_retransmit_;
+  std::size_t stored_bytes_ = 0;
+  std::vector<RmpOut> output_;
+  RmpStats stats_;
+};
+
+}  // namespace ftcorba::ftmp

@@ -1,0 +1,232 @@
+#include "ftmp/romp.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ftcorba::ftmp {
+
+bool is_totally_ordered(MessageType t) {
+  switch (t) {
+    case MessageType::kRegular:
+    case MessageType::kConnect:
+    case MessageType::kAddProcessor:
+    case MessageType::kRemoveProcessor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_reliable(MessageType t) {
+  switch (t) {
+    case MessageType::kRegular:
+    case MessageType::kConnect:
+    case MessageType::kAddProcessor:
+    case MessageType::kRemoveProcessor:
+    case MessageType::kSuspect:
+    case MessageType::kMembership:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Romp::Romp(ProcessorId self, const Config& config)
+    : self_(self),
+      config_(config),
+      clock_(config.clock_mode, config.clock_skew) {}
+
+void Romp::set_members(const std::vector<ProcessorId>& members) {
+  members_.clear();
+  members_.insert(members.begin(), members.end());
+}
+
+void Romp::add_member(ProcessorId member, Timestamp initial_bound) {
+  members_.insert(member);
+  Timestamp& b = bounds_[member];
+  b = std::max(b, initial_bound);
+}
+
+void Romp::remove_member(ProcessorId member, bool drop_pending) {
+  members_.erase(member);
+  bounds_.erase(member);
+  last_acks_.erase(member);
+  unstable_.erase(member);
+  if (drop_pending) {
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.header.source == member) {
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::vector<ProcessorId> Romp::members() const {
+  return {members_.begin(), members_.end()};
+}
+
+Timestamp Romp::ack_timestamp() const {
+  Timestamp acc = clock_.latest();
+  for (ProcessorId q : members_) {
+    auto it = bounds_.find(q);
+    const Timestamp b = it == bounds_.end() ? 0 : it->second;
+    acc = std::min(acc, b);
+  }
+  return acc;
+}
+
+Timestamp Romp::bound(ProcessorId q) const {
+  auto it = bounds_.find(q);
+  return it == bounds_.end() ? 0 : it->second;
+}
+
+Timestamp Romp::min_bound() const {
+  if (members_.empty()) return 0;
+  Timestamp acc = ~Timestamp{0};
+  for (ProcessorId q : members_) acc = std::min(acc, bound(q));
+  return acc;
+}
+
+void Romp::observe_header(const Header& h) {
+  clock_.witness(h.message_timestamp);
+  Timestamp& ack = last_acks_[h.source];
+  ack = std::max(ack, h.ack_timestamp);
+}
+
+void Romp::on_source_ordered(const Message& msg) {
+  const Header& h = msg.header;
+  observe_header(h);
+  Timestamp& b = bounds_[h.source];
+  b = std::max(b, h.message_timestamp);
+  unstable_[h.source][h.message_timestamp] = h.sequence_number;
+  if (is_totally_ordered(h.type)) {
+    pending_.emplace(std::make_pair(h.message_timestamp, h.source.raw()), msg);
+    stats_.pending_peak = std::max<std::uint64_t>(stats_.pending_peak, pending_.size());
+  } else {
+    // Suspect/Membership: consumed by PGMP right away (Fig. 3: reliable,
+    // source-ordered, not totally ordered).
+    mark_consumed(h.source, h.sequence_number);
+  }
+}
+
+void Romp::mark_consumed(ProcessorId src, SeqNum seq) {
+  SeqNum& up_to = consumed_up_to_[src];
+  if (seq != up_to + 1) {
+    if (seq > up_to) consumed_ahead_[src].insert(seq);
+    return;
+  }
+  up_to = seq;
+  auto& ahead = consumed_ahead_[src];
+  auto it = ahead.begin();
+  while (it != ahead.end() && *it == up_to + 1) {
+    up_to = *it;
+    it = ahead.erase(it);
+  }
+}
+
+SeqNum Romp::consumed_up_to(ProcessorId src) const {
+  auto it = consumed_up_to_.find(src);
+  return it == consumed_up_to_.end() ? 0 : it->second;
+}
+
+void Romp::on_heartbeat(const Header& header, SeqNum contiguous_seq) {
+  observe_header(header);
+  if (header.sequence_number == contiguous_seq) {
+    Timestamp& b = bounds_[header.source];
+    b = std::max(b, header.message_timestamp);
+  }
+}
+
+std::vector<Message> Romp::collect_deliverable() {
+  std::vector<Message> out;
+  if (pending_.empty() || members_.empty()) return out;
+  // min over members of bound; any member never heard from stalls delivery
+  // (bound 0), which is precisely the "ordering of messages stops until
+  // faulty processors are removed" behaviour of §7.
+  Timestamp min_bound = ~Timestamp{0};
+  for (ProcessorId q : members_) min_bound = std::min(min_bound, bound(q));
+  while (!pending_.empty() && pending_.begin()->first.first <= min_bound) {
+    Message& m = pending_.begin()->second;
+    SeqNum& lo = last_ordered_[m.header.source];
+    lo = std::max(lo, m.header.sequence_number);
+    mark_consumed(m.header.source, m.header.sequence_number);
+    const MessageType type = m.header.type;
+    out.push_back(std::move(m));
+    pending_.erase(pending_.begin());
+    stats_.ordered_delivered += 1;
+    if (type != MessageType::kRegular) {
+      // A membership-affecting message (AddProcessor / RemoveProcessor /
+      // Connect): stop the batch here. min_bound was computed over the
+      // *current* membership; once this message is applied, later messages
+      // must also clear the new member's (or shed the removed member's)
+      // bound. The session re-enters after applying it.
+      break;
+    }
+  }
+  return out;
+}
+
+SeqNum Romp::last_ordered_seq(ProcessorId src) const {
+  auto it = last_ordered_.find(src);
+  return it == last_ordered_.end() ? 0 : it->second;
+}
+
+Timestamp Romp::stable_timestamp() const {
+  Timestamp acc = ~Timestamp{0};
+  for (ProcessorId q : members_) {
+    auto it = last_acks_.find(q);
+    acc = std::min(acc, it == last_acks_.end() ? 0 : it->second);
+  }
+  return members_.empty() ? 0 : acc;
+}
+
+std::vector<std::pair<ProcessorId, SeqNum>> Romp::collect_stable() {
+  std::vector<std::pair<ProcessorId, SeqNum>> out;
+  const Timestamp stable = stable_timestamp();
+  if (stable <= last_stable_) return out;
+  last_stable_ = stable;
+  for (auto& [src, by_ts] : unstable_) {
+    // Find the largest timestamp <= stable; everything up to its seq is
+    // reclaimable.
+    auto it = by_ts.upper_bound(stable);
+    if (it == by_ts.begin()) continue;
+    --it;
+    out.emplace_back(src, it->second);
+    by_ts.erase(by_ts.begin(), std::next(it));
+    stats_.stability_releases += 1;
+  }
+  return out;
+}
+
+std::vector<Message> Romp::drain_up_to_cut(
+    const std::map<ProcessorId, SeqNum>& cuts,
+    const std::set<ProcessorId>& survivors) {
+  std::vector<Message> out;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const Message& m = it->second;
+    const ProcessorId src = m.header.source;
+    auto cut = cuts.find(src);
+    const SeqNum limit = cut == cuts.end() ? 0 : cut->second;
+    if (m.header.sequence_number <= limit) {
+      SeqNum& lo = last_ordered_[src];
+      lo = std::max(lo, m.header.sequence_number);
+      mark_consumed(src, m.header.sequence_number);
+      out.push_back(std::move(it->second));
+      it = pending_.erase(it);
+      stats_.ordered_delivered += 1;
+    } else if (!survivors.contains(src)) {
+      // A non-survivor's message beyond the cut: nobody will deliver it.
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // pending_ is keyed by (timestamp, source), so `out` was extracted in
+  // delivery order already.
+  return out;
+}
+
+}  // namespace ftcorba::ftmp

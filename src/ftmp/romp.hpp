@@ -1,0 +1,187 @@
+// romp.hpp — the Reliable Ordered Multicast Protocol layer (§6): Lamport
+// message timestamps give causal + total order; ack timestamps give message
+// stability for buffer management.
+//
+// Ordering rule. For each member q we track bound(q): the largest timestamp
+// B such that we are guaranteed to already hold every message from q with
+// timestamp <= B. bound(q) advances when a reliable message from q is
+// received in source order (its timestamp becomes the bound — q's later
+// messages necessarily carry larger Lamport timestamps), or when a
+// Heartbeat from q arrives whose carried sequence number equals our
+// contiguously-received sequence for q (q asserts it has sent nothing we
+// lack, and its future messages will exceed the heartbeat timestamp).
+// A pending message m with timestamp t is deliverable once
+// min over members q of bound(q) >= t; deliverable messages are delivered
+// in (timestamp, source id) lexicographic order, which is a total order
+// consistent with causality. Idle members keep bounds advancing via
+// Heartbeats — exactly why §5 requires them for "liveness of ROMP".
+//
+// Stability rule. Every outgoing header carries ack_timestamp =
+// min over members bound(q) ("the sender has received all messages with
+// lower timestamps from all members", §3.2). A message with timestamp t is
+// stable once min over members q of last-ack(q) >= t: every member holds
+// it, nobody can need a retransmission, so RMP may reclaim the buffer (§6).
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "ftmp/config.hpp"
+#include "ftmp/messages.hpp"
+
+namespace ftcorba::ftmp {
+
+/// Counters for tests and the E7/E8 benches.
+struct RompStats {
+  std::uint64_t ordered_delivered = 0;  ///< messages handed up in total order
+  std::uint64_t pending_peak = 0;       ///< max simultaneous pending messages
+  std::uint64_t stability_releases = 0; ///< (source, seq) release notices issued
+};
+
+/// Causal/total ordering and stability for one processor group.
+class Romp {
+ public:
+  Romp(ProcessorId self, const Config& config);
+
+  // ---- membership epochs ----
+
+  /// Installs the initial member set (bounds start at 0 and rise with the
+  /// first messages/heartbeats from each member).
+  void set_members(const std::vector<ProcessorId>& members);
+
+  /// Adds a member at an AddProcessor ordering point; `initial_bound` is
+  /// the AddProcessor's own timestamp (the new member's future messages are
+  /// guaranteed to exceed the membership timestamp it starts from).
+  void add_member(ProcessorId member, Timestamp initial_bound);
+
+  /// Removes a member; if `drop_pending`, its not-yet-ordered messages are
+  /// discarded (RemoveProcessor semantics: "removed from the membership
+  /// when the RemoveProcessor message is ordered").
+  void remove_member(ProcessorId member, bool drop_pending);
+
+  /// Current member set (sorted).
+  [[nodiscard]] std::vector<ProcessorId> members() const;
+
+  /// True if `p` is currently a member.
+  [[nodiscard]] bool is_member(ProcessorId p) const { return members_.contains(p); }
+
+  // ---- timestamping ----
+
+  /// Stamps an outgoing message (advances the Lamport clock).
+  [[nodiscard]] Timestamp stamp(TimePoint now) { return clock_.tick(now); }
+
+  /// The greatest timestamp issued or witnessed.
+  [[nodiscard]] Timestamp latest() const { return clock_.latest(); }
+
+  /// Observes a timestamp (Lamport advance) without receiving a message —
+  /// used when a joining member seeds its clock from an AddProcessor body.
+  void witness(Timestamp t) { clock_.witness(t); }
+
+  /// Ack timestamp for outgoing headers: min over members of bound
+  /// ("received all messages with lower timestamps from all members").
+  [[nodiscard]] Timestamp ack_timestamp() const;
+
+  /// Current bound for one member (0 if never heard).
+  [[nodiscard]] Timestamp bound(ProcessorId q) const;
+
+  /// min over members of bound — the timestamp up to which delivery can
+  /// proceed (also the flush watermark for Connect rebinds, §7).
+  [[nodiscard]] Timestamp min_bound() const;
+
+  // ---- inputs ----
+
+  /// A reliable message from RMP, in source order. Raises bound(source),
+  /// witnesses the timestamp, records ack knowledge, and — if the type is
+  /// totally ordered (Regular, Connect, AddProcessor, RemoveProcessor,
+  /// Fig. 3) — adds it to the pending set.
+  void on_source_ordered(const Message& msg);
+
+  /// A Heartbeat header (unreliable direct delivery from RMP).
+  /// `contiguous_seq` is RMP's contiguously-received sequence for the
+  /// source; the bound only rises when the heartbeat's sequence number
+  /// equals it (otherwise there are messages in flight we lack).
+  void on_heartbeat(const Header& header, SeqNum contiguous_seq);
+
+  // ---- ordered delivery ----
+
+  /// Pops every pending message that is now deliverable, in delivery
+  /// (total) order.
+  [[nodiscard]] std::vector<Message> collect_deliverable();
+
+  /// Number of messages awaiting order.
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+  /// Sequence number of the most recent message from `src` that this
+  /// processor has ordered (delivered). Reported in AddProcessor bodies
+  /// (§7.1) so a new member can construct the order from there on.
+  [[nodiscard]] SeqNum last_ordered_seq(ProcessorId src) const;
+
+  /// The largest S such that every message from `src` with seq <= S has
+  /// been consumed here: delivered if totally ordered, or handed to PGMP
+  /// if a source-ordered control message (Suspect/Membership). This — not
+  /// last_ordered_seq — is the safe stream-resume point for a new member:
+  /// control messages may be stability-purged and are epoch-stale for a
+  /// joiner anyway, so a boundary below them could never become contiguous.
+  [[nodiscard]] SeqNum consumed_up_to(ProcessorId src) const;
+
+  // ---- stability / buffer management ----
+
+  /// Timestamp below which every member has acknowledged everything.
+  [[nodiscard]] Timestamp stable_timestamp() const;
+
+  /// Advances stability: returns, per source, the largest sequence number
+  /// whose message has become stable since the last call. The session
+  /// forwards these to Rmp::release (§6: "ROMP then recovers the buffer
+  /// space").
+  [[nodiscard]] std::vector<std::pair<ProcessorId, SeqNum>> collect_stable();
+
+  // ---- fault-recovery epoch cut (PGMP §7.2) ----
+
+  /// Delivers the old-epoch remainder during a fault-driven membership
+  /// change: pops pending messages with seq <= cuts[source] in total order;
+  /// drops pending messages from sources not in `survivors` beyond their
+  /// cut. Survivors' beyond-cut messages stay pending for the new epoch.
+  [[nodiscard]] std::vector<Message> drain_up_to_cut(
+      const std::map<ProcessorId, SeqNum>& cuts,
+      const std::set<ProcessorId>& survivors);
+
+  /// Layer counters.
+  [[nodiscard]] const RompStats& stats() const { return stats_; }
+
+ private:
+  void observe_header(const Header& h);
+
+  ProcessorId self_;
+  Config config_;
+  TimestampSource clock_;
+  std::set<ProcessorId> members_;
+  std::unordered_map<ProcessorId, Timestamp> bounds_;
+  std::unordered_map<ProcessorId, Timestamp> last_acks_;
+  // Pending totally-ordered messages, keyed by delivery order (ts, src).
+  std::map<std::pair<Timestamp, std::uint32_t>, Message> pending_;
+  // Per source: timestamps of contiguously received reliable messages that
+  // are not yet stable, mapping to their seq (for stability -> RMP release).
+  std::unordered_map<ProcessorId, std::map<Timestamp, SeqNum>> unstable_;
+  // Per source: seq of the most recent ordered (delivered) message.
+  std::unordered_map<ProcessorId, SeqNum> last_ordered_;
+  // Per source: contiguous consumed prefix (ordered deliveries + control
+  // messages), plus out-of-prefix consumed seqs awaiting the gap.
+  std::unordered_map<ProcessorId, SeqNum> consumed_up_to_;
+  std::unordered_map<ProcessorId, std::set<SeqNum>> consumed_ahead_;
+  void mark_consumed(ProcessorId src, SeqNum seq);
+  Timestamp last_stable_ = 0;
+  RompStats stats_;
+};
+
+/// True for the message types Fig. 3 marks "Totally Ordered".
+[[nodiscard]] bool is_totally_ordered(MessageType t);
+
+/// True for the message types Fig. 3 marks "Reliable" (they consume
+/// sequence numbers and flow through RMP's source-ordered path).
+[[nodiscard]] bool is_reliable(MessageType t);
+
+}  // namespace ftcorba::ftmp

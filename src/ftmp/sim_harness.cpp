@@ -1,0 +1,128 @@
+#include "ftmp/sim_harness.hpp"
+
+#include <stdexcept>
+
+namespace ftcorba::ftmp {
+
+SimHarness::SimHarness(net::LinkModel link, std::uint64_t seed, Duration granularity)
+    : net_(link, seed), granularity_(granularity), next_tick_(granularity) {}
+
+Stack& SimHarness::add_processor(ProcessorId id, FtDomainId domain,
+                                 McastAddress domain_addr, Config config) {
+  auto [it, inserted] =
+      stacks_.emplace(id, std::make_unique<Stack>(id, domain, domain_addr, config));
+  if (!inserted) throw std::invalid_argument("duplicate processor id");
+  net_.attach(id);
+  events_.emplace(id, std::vector<Event>{});
+  sync_subscriptions(id);
+  return *it->second;
+}
+
+Stack& SimHarness::stack(ProcessorId id) {
+  auto it = stacks_.find(id);
+  if (it == stacks_.end()) throw std::out_of_range("unknown processor");
+  return *it->second;
+}
+
+void SimHarness::sync_subscriptions(ProcessorId id) {
+  for (McastAddress addr : stacks_.at(id)->subscriptions()) {
+    net_.subscribe(id, addr);
+  }
+}
+
+void SimHarness::flush(ProcessorId id) {
+  Stack& s = *stacks_.at(id);
+  for (net::Datagram& d : s.take_packets()) {
+    net_.send(now_, id, d);
+  }
+  auto evs = s.take_events();
+  auto handler = handlers_.find(id);
+  if (handler != handlers_.end()) {
+    for (const Event& ev : evs) handler->second(now_, ev);
+    // The handler may have sent through the stack: transmit those too.
+    for (net::Datagram& d : s.take_packets()) {
+      net_.send(now_, id, d);
+    }
+  }
+  auto& sink = events_.at(id);
+  sink.insert(sink.end(), std::make_move_iterator(evs.begin()),
+              std::make_move_iterator(evs.end()));
+  sync_subscriptions(id);
+}
+
+void SimHarness::run_until(TimePoint t) {
+  while (now_ < t) {
+    const auto next_delivery = net_.next_delivery_time();
+    // Choose the earliest of: next packet delivery, next timer tick.
+    TimePoint step = std::min<TimePoint>(t, next_tick_);
+    if (next_delivery && *next_delivery < step) step = *next_delivery;
+    now_ = std::max(now_, step);
+
+    // Deliver every packet due at or before `now_`.
+    while (auto d = net_.pop_due(now_)) {
+      if (crashed_.contains(d->dest)) continue;
+      auto it = stacks_.find(d->dest);
+      if (it == stacks_.end()) continue;
+      it->second->on_datagram(now_, d->datagram);
+      flush(d->dest);
+    }
+
+    // Timer ticks at fixed granularity.
+    if (now_ >= next_tick_) {
+      for (auto& [id, s] : stacks_) {
+        if (crashed_.contains(id)) continue;
+        s->tick(now_);
+        flush(id);
+      }
+      next_tick_ += granularity_;
+    }
+    if (!net_.next_delivery_time() && now_ >= t) break;
+  }
+  now_ = t;
+}
+
+bool SimHarness::run_until_pred(const std::function<bool()>& pred, TimePoint deadline) {
+  while (now_ < deadline) {
+    if (pred()) return true;
+    run_until(std::min(deadline, now_ + granularity_));
+  }
+  return pred();
+}
+
+void SimHarness::crash(ProcessorId id) {
+  crashed_.insert(id);
+  net_.crash(id);
+}
+
+const std::vector<Event>& SimHarness::events(ProcessorId id) const {
+  return events_.at(id);
+}
+
+std::vector<DeliveredMessage> SimHarness::delivered(ProcessorId id,
+                                                    ProcessorGroupId group) const {
+  std::vector<DeliveredMessage> out;
+  for (const Event& ev : events_.at(id)) {
+    if (const auto* d = std::get_if<DeliveredMessage>(&ev)) {
+      if (d->group == group) out.push_back(*d);
+    }
+  }
+  return out;
+}
+
+void SimHarness::clear_events() {
+  for (auto& [id, evs] : events_) evs.clear();
+}
+
+void SimHarness::set_event_handler(
+    ProcessorId id, std::function<void(TimePoint, const Event&)> handler) {
+  handlers_[id] = std::move(handler);
+}
+
+std::vector<ProcessorId> SimHarness::processors() const {
+  std::vector<ProcessorId> out;
+  out.reserve(stacks_.size());
+  for (const auto& [id, s] : stacks_) out.push_back(id);
+  return out;
+}
+
+}  // namespace ftcorba::ftmp

@@ -1,0 +1,95 @@
+// sim_harness.hpp — drives a set of FTMP stacks over the deterministic
+// SimNetwork: the discrete-event loop interleaves packet deliveries and
+// periodic timer ticks in simulated-time order. All tests and benchmarks
+// run through this harness; the UDP driver (udp_driver.hpp) plays the same
+// role against real sockets.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "ftmp/events.hpp"
+#include "ftmp/stack.hpp"
+#include "net/sim_network.hpp"
+
+namespace ftcorba::ftmp {
+
+/// A simulated deployment of FTMP processors.
+class SimHarness {
+ public:
+  /// `granularity` is the timer-tick period handed to Stack::tick — the
+  /// resolution of heartbeat/fault/NACK timers.
+  explicit SimHarness(net::LinkModel link = {}, std::uint64_t seed = 1,
+                      Duration granularity = 1 * kMillisecond);
+
+  /// Creates a processor with its own stack. Ids must be unique.
+  Stack& add_processor(ProcessorId id, FtDomainId domain, McastAddress domain_addr,
+                       Config config = {});
+
+  /// The stack of a processor (must exist).
+  [[nodiscard]] Stack& stack(ProcessorId id);
+
+  /// The underlying network, for loss/partition/crash control.
+  [[nodiscard]] net::SimNetwork& network() { return net_; }
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Runs the event loop until simulated time `t`.
+  void run_until(TimePoint t);
+
+  /// Runs the event loop for `d` more simulated time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Runs until `pred()` is true or `deadline` passes; returns pred().
+  bool run_until_pred(const std::function<bool()>& pred, TimePoint deadline);
+
+  /// Crashes a processor: its packets vanish and its stack stops running
+  /// (fail-stop model).
+  void crash(ProcessorId id);
+
+  /// True if `id` has been crashed.
+  [[nodiscard]] bool crashed(ProcessorId id) const { return crashed_.contains(id); }
+
+  /// All events a processor's stack has emitted since the start (the
+  /// harness drains stacks continuously and accumulates here).
+  [[nodiscard]] const std::vector<Event>& events(ProcessorId id) const;
+
+  /// Convenience: the ordered Regular deliveries seen by a processor for
+  /// one group, in delivery order.
+  [[nodiscard]] std::vector<DeliveredMessage> delivered(ProcessorId id,
+                                                        ProcessorGroupId group) const;
+
+  /// Drops accumulated events (e.g. after a warm-up phase in benches).
+  void clear_events();
+
+  /// Installs a per-processor event callback invoked inside the event loop
+  /// (before the event is appended to the accumulated list). Higher layers
+  /// (the ORB, replication managers) react to deliveries here and may send
+  /// through the stack; their packets go out in the same loop iteration.
+  void set_event_handler(ProcessorId id,
+                         std::function<void(TimePoint, const Event&)> handler);
+
+  /// Processor ids in ascending order.
+  [[nodiscard]] std::vector<ProcessorId> processors() const;
+
+ private:
+  void sync_subscriptions(ProcessorId id);
+  void flush(ProcessorId id);
+
+  net::SimNetwork net_;
+  Duration granularity_;
+  TimePoint now_ = 0;
+  TimePoint next_tick_ = 0;
+  std::map<ProcessorId, std::unique_ptr<Stack>> stacks_;
+  std::map<ProcessorId, std::vector<Event>> events_;
+  std::map<ProcessorId, std::function<void(TimePoint, const Event&)>> handlers_;
+  std::set<ProcessorId> crashed_;
+};
+
+}  // namespace ftcorba::ftmp

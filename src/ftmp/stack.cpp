@@ -1,0 +1,373 @@
+#include "ftmp/stack.hpp"
+
+#include <algorithm>
+
+#include "common/codec.hpp"
+#include "common/log.hpp"
+
+namespace ftcorba::ftmp {
+
+Stack::Stack(ProcessorId self, FtDomainId domain, McastAddress domain_addr, Config config)
+    : self_(self), domain_(domain), domain_addr_(domain_addr), config_(config) {
+  subscriptions_.insert(domain_addr_.raw());
+}
+
+GroupSession& Stack::make_session(ProcessorGroupId g, McastAddress addr) {
+  auto session = std::make_unique<GroupSession>(self_, g, addr, domain_addr_,
+                                                config_, outbox_);
+  auto [it, inserted] = sessions_.emplace(g, std::move(session));
+  subscriptions_.insert(addr.raw());
+  return *it->second;
+}
+
+void Stack::create_group(TimePoint now, ProcessorGroupId group, McastAddress addr,
+                         const std::vector<ProcessorId>& members) {
+  make_session(group, addr).bootstrap(now, members);
+  observe_events(now);
+}
+
+void Stack::expect_join(ProcessorGroupId group, McastAddress addr) {
+  if (sessions_.contains(group)) return;
+  expected_joins_[group] = addr;
+  subscriptions_.insert(addr.raw());
+}
+
+bool Stack::add_processor(TimePoint now, ProcessorGroupId group, ProcessorId new_member) {
+  GroupSession* s = this->group(group);
+  if (!s) return false;
+  const bool ok = s->add_processor(now, new_member);
+  observe_events(now);
+  return ok;
+}
+
+bool Stack::remove_processor(TimePoint now, ProcessorGroupId group, ProcessorId member) {
+  GroupSession* s = this->group(group);
+  if (!s) return false;
+  const bool ok = s->remove_processor(now, member);
+  observe_events(now);
+  return ok;
+}
+
+GroupSession* Stack::group(ProcessorGroupId g) {
+  auto it = sessions_.find(g);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+const GroupSession* Stack::group(ProcessorGroupId g) const {
+  auto it = sessions_.find(g);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+void Stack::serve_connections(ProcessorGroupId group) { serve_group_ = group; }
+
+void Stack::open_connection(TimePoint now, const ConnectionId& connection,
+                            McastAddress server_domain_addr,
+                            const std::vector<ProcessorId>& client_processors) {
+  ClientConn state;
+  state.server_domain_addr = server_domain_addr;
+  state.client_processors = client_processors;
+  subscriptions_.insert(server_domain_addr.raw());
+  auto [it, inserted] = client_conns_.emplace(connection, std::move(state));
+  if (!inserted) return;
+  send_connect_request(now, connection, it->second);
+}
+
+bool Stack::connection_ready(const ConnectionId& connection) const {
+  auto it = client_conns_.find(connection);
+  if (it != client_conns_.end() && it->second.established) return true;
+  if (serve_group_) {
+    const GroupSession* s = this->group(*serve_group_);
+    if (s && s->active()) {
+      auto sc = server_conns_.find(connection);
+      if (sc != server_conns_.end()) return sc->second.connect_sent;
+    }
+  }
+  return false;
+}
+
+std::optional<ProcessorGroupId> Stack::connection_group(const ConnectionId& connection) const {
+  auto it = client_conns_.find(connection);
+  if (it != client_conns_.end() && it->second.established) return it->second.bound_group;
+  if (serve_group_ && server_conns_.contains(connection)) return *serve_group_;
+  return std::nullopt;
+}
+
+bool Stack::send(TimePoint now, const ConnectionId& connection, RequestNum request_num,
+                 BytesView giop) {
+  auto it = client_conns_.find(connection);
+  if (it != client_conns_.end() && it->second.established) {
+    GroupSession* s = this->group(it->second.bound_group);
+    if (s && s->send_regular(now, connection, request_num, giop)) {
+      observe_events(now);
+      return true;
+    }
+    return false;
+  }
+  // Server replicas reply over the group that serves the connection.
+  if (serve_group_) {
+    GroupSession* s = this->group(*serve_group_);
+    if (s && s->send_regular(now, connection, request_num, giop)) {
+      observe_events(now);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Stack::send_connect_request(TimePoint now, const ConnectionId& conn,
+                                 ClientConn& state) {
+  // Per §7: destination processor group id, sequence number and message
+  // timestamp are all 0 in a ConnectRequest header.
+  Header h;
+  h.byte_order = config_.byte_order;
+  h.type = MessageType::kConnectRequest;
+  h.source = self_;
+  ConnectRequestBody body;
+  body.connection = conn;
+  body.client_processors = state.client_processors;
+  Bytes raw = encode_message(Message{h, std::move(body)});
+  outbox_.packets.push_back(net::Datagram{state.server_domain_addr, std::move(raw)});
+  state.last_request = now;
+}
+
+void Stack::server_on_connect_request(TimePoint now, const Message& msg) {
+  if (!serve_group_) return;
+  GroupSession* s = this->group(*serve_group_);
+  if (!s || !s->active()) return;
+  // Only the group leader (smallest member id) drives establishment;
+  // leadership fails over naturally because the client keeps retrying.
+  const auto& members = s->membership().members;
+  if (members.empty() || members.front() != self_) return;
+  const auto& body = std::get<ConnectRequestBody>(msg.body);
+  auto it = server_conns_.find(body.connection);
+  if (it == server_conns_.end()) {
+    ServerConn state;
+    state.client_processors = body.client_processors;
+    server_conns_.emplace(body.connection, std::move(state));
+    outbox_.events.emplace_back(
+        ConnectionRequested{body.connection, body.client_processors});
+    progress_server_conns(now);
+    return;
+  }
+  // "the server might receive a ConnectRequest message for a connection
+  // that it has already established. The server should ignore such
+  // requests" (§7) — but while no traffic has flowed yet the client may
+  // simply have missed the Connect, so we re-send it.
+  if (it->second.connect_sent && !it->second.traffic_seen) {
+    s->resend_stored(self_, it->second.connect_seq, domain_addr_);
+    it->second.last_resend = now;
+  }
+}
+
+void Stack::progress_server_conns(TimePoint now) {
+  if (!serve_group_) return;
+  GroupSession* s = this->group(*serve_group_);
+  if (!s || !s->active()) return;
+  const auto& members = s->membership().members;
+  if (members.empty() || members.front() != self_) return;
+  for (auto& [conn, state] : server_conns_) {
+    if (!state.connect_sent) {
+      // Send the Connect first: it tells the client group which processor
+      // group and multicast address the connection rides (§7), so the
+      // client processors can subscribe and then receive the sponsor's
+      // retransmitted AddProcessor messages.
+      ConnectBody body;
+      body.connection = conn;
+      body.processor_group = s->id();
+      body.multicast_address = s->address();
+      body.current_membership = s->membership();
+      if (auto seq = s->send_connect(now, std::move(body))) {
+        state.connect_sent = true;
+        state.connect_seq = *seq;
+        state.last_resend = now;
+      }
+    }
+    if (state.connect_sent) {
+      for (ProcessorId p : state.client_processors) {
+        if (!s->is_member(p)) {
+          (void)s->add_processor(now, p);  // rejected while busy; retried later
+        }
+      }
+    }
+    if (state.connect_sent && !state.traffic_seen &&
+               now - state.last_resend >= config_.connect_retry_interval) {
+      // "the server processor group retransmits the Connect message
+      // periodically ... until it receives messages over the new
+      // connection" (§7).
+      s->resend_stored(self_, state.connect_seq, domain_addr_);
+      state.last_resend = now;
+    }
+  }
+}
+
+void Stack::client_on_connect(TimePoint now, const Message& msg) {
+  const auto& body = std::get<ConnectBody>(msg.body);
+  auto it = client_conns_.find(body.connection);
+  if (it == client_conns_.end()) return;
+  ClientConn& state = it->second;
+  if (state.established) return;
+  state.connect_seen = true;
+  state.bound_group = body.processor_group;
+  state.bound_addr = body.multicast_address;
+  subscriptions_.insert(body.multicast_address.raw());
+  GroupSession* s = this->group(body.processor_group);
+  if (s && s->active() && s->is_member(self_)) {
+    state.established = true;
+    outbox_.events.emplace_back(ConnectionEstablished{
+        body.connection, state.bound_group, state.bound_addr});
+  } else {
+    expect_join(body.processor_group, body.multicast_address);
+  }
+  (void)now;
+}
+
+void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
+  last_now_ = std::max(last_now_, now);
+  if (!looks_like_ftmp(datagram.payload)) {
+    stats_.malformed_datagrams += 1;
+    return;
+  }
+  Message msg;
+  try {
+    msg = decode_message(datagram.payload);
+  } catch (const CodecError& e) {
+    stats_.malformed_datagrams += 1;
+    FTC_LOG(kDebug) << to_string(self_) << ": dropping malformed datagram: " << e.what();
+    return;
+  }
+
+  switch (msg.header.type) {
+    case MessageType::kConnectRequest:
+      server_on_connect_request(now, msg);
+      break;
+    case MessageType::kConnect: {
+      client_on_connect(now, msg);
+      if (GroupSession* s = this->group(msg.header.destination_group)) {
+        s->handle(now, msg, datagram.payload);
+      }
+      break;
+    }
+    case MessageType::kAddProcessor: {
+      if (GroupSession* s = this->group(msg.header.destination_group)) {
+        s->handle(now, msg, datagram.payload);
+        break;
+      }
+      const auto& body = std::get<AddProcessorBody>(msg.body);
+      auto expected = expected_joins_.find(msg.header.destination_group);
+      auto floor = join_ts_floor_.find(msg.header.destination_group);
+      if (floor != join_ts_floor_.end() &&
+          body.current_membership.timestamp < floor->second) {
+        // A retransmission of an AddProcessor from an earlier incarnation
+        // of this processor's membership: ignore it, the fresh one follows.
+        stats_.unroutable_datagrams += 1;
+      } else if (body.new_member == self_ && expected != expected_joins_.end()) {
+        const McastAddress addr = expected->second;
+        expected_joins_.erase(expected);
+        make_session(msg.header.destination_group, addr)
+            .init_from_add(now, msg, datagram.payload);
+      } else {
+        stats_.unroutable_datagrams += 1;
+      }
+      break;
+    }
+    default: {
+      if (GroupSession* s = this->group(msg.header.destination_group)) {
+        s->handle(now, msg, datagram.payload);
+      } else {
+        stats_.unroutable_datagrams += 1;
+      }
+      break;
+    }
+  }
+  observe_events(now);
+}
+
+void Stack::observe_events(TimePoint now) {
+  for (std::size_t i = events_observed_; i < outbox_.events.size(); ++i) {
+    const Event& ev = outbox_.events[i];
+    if (const auto* joined = std::get_if<MembershipChanged>(&ev)) {
+      // Client side: our join to a connection's group completed.
+      const bool self_joined =
+          std::find(joined->joined.begin(), joined->joined.end(), self_) !=
+          joined->joined.end();
+      if (self_joined) {
+        for (auto& [conn, state] : client_conns_) {
+          if (!state.established && state.connect_seen &&
+              state.bound_group == joined->group) {
+            state.established = true;
+            outbox_.events.emplace_back(
+                ConnectionEstablished{conn, state.bound_group, state.bound_addr});
+          }
+        }
+      }
+    } else if (const auto* delivered = std::get_if<DeliveredMessage>(&ev)) {
+      auto it = server_conns_.find(delivered->connection);
+      if (it != server_conns_.end()) it->second.traffic_seen = true;
+    }
+  }
+  events_observed_ = outbox_.events.size();
+  progress_server_conns(now);
+}
+
+void Stack::tick(TimePoint now) {
+  last_now_ = std::max(last_now_, now);
+  for (auto& [g, session] : sessions_) session->tick(now);
+  for (auto& [conn, state] : client_conns_) {
+    if (!state.established &&
+        now - state.last_request >= config_.connect_retry_interval) {
+      send_connect_request(now, conn, state);
+    }
+  }
+  observe_events(now);
+}
+
+std::vector<net::Datagram> Stack::take_packets() {
+  std::vector<net::Datagram> out;
+  out.swap(outbox_.packets);
+  return out;
+}
+
+std::vector<Event> Stack::take_events() {
+  observe_events(last_now_);
+  std::vector<Event> out;
+  out.swap(outbox_.events);
+  events_observed_ = 0;
+  return out;
+}
+
+std::vector<McastAddress> Stack::subscriptions() const {
+  std::set<std::uint32_t> all = subscriptions_;
+  // Sessions can move to a new address at runtime (Connect rebind, §7);
+  // their current and retiring addresses must both be joined.
+  for (const auto& [g, session] : sessions_) {
+    all.insert(session->address().raw());
+    if (auto retiring = session->retiring_address()) all.insert(retiring->raw());
+  }
+  std::vector<McastAddress> out;
+  out.reserve(all.size());
+  for (std::uint32_t raw : all) out.emplace_back(raw);
+  return out;
+}
+
+bool Stack::leave_group(TimePoint now, ProcessorGroupId g) {
+  return remove_processor(now, g, self_);
+}
+
+bool Stack::drop_group(ProcessorGroupId g) {
+  auto it = sessions_.find(g);
+  if (it == sessions_.end()) return false;
+  Timestamp& floor = join_ts_floor_[g];
+  floor = std::max(floor, it->second->membership().timestamp);
+  sessions_.erase(it);
+  return true;
+}
+
+bool Stack::rebind_group(TimePoint now, ProcessorGroupId g, McastAddress new_addr) {
+  GroupSession* s = this->group(g);
+  if (!s) return false;
+  const bool ok = s->rebind_address(now, new_addr);
+  observe_events(now);
+  return ok;
+}
+
+}  // namespace ftcorba::ftmp

@@ -1,0 +1,64 @@
+#include "ftmp/udp_driver.hpp"
+
+#include <chrono>
+
+namespace ftcorba::ftmp {
+
+UdpDriver::UdpDriver(Stack& stack, net::UdpMulticastTransport::Options options)
+    : stack_(stack), transport_(std::move(options)) {
+  next_tick_ = wall_now();
+  flush(next_tick_);
+}
+
+TimePoint UdpDriver::wall_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void UdpDriver::flush(TimePoint now) {
+  (void)now;
+  for (McastAddress addr : stack_.subscriptions()) {
+    transport_.join(addr);
+  }
+  for (const net::Datagram& d : stack_.take_packets()) {
+    transport_.send(d);
+  }
+  auto evs = stack_.take_events();
+  events_.insert(events_.end(), std::make_move_iterator(evs.begin()),
+                 std::make_move_iterator(evs.end()));
+}
+
+bool UdpDriver::poll_once(Duration max_wait) {
+  const TimePoint start = wall_now();
+  Duration wait = max_wait;
+  if (next_tick_ > start) wait = std::min(wait, next_tick_ - start);
+  auto datagram = transport_.receive(wait);
+  const TimePoint now = wall_now();
+  bool processed = false;
+  if (datagram) {
+    stack_.on_datagram(now, *datagram);
+    processed = true;
+  }
+  if (now >= next_tick_) {
+    stack_.tick(now);
+    next_tick_ = now + tick_granularity_;
+  }
+  flush(now);
+  return processed;
+}
+
+void UdpDriver::run_for(Duration wall) {
+  const TimePoint deadline = wall_now() + wall;
+  while (wall_now() < deadline) {
+    poll_once(tick_granularity_);
+  }
+}
+
+std::vector<Event> UdpDriver::take_events() {
+  std::vector<Event> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace ftcorba::ftmp

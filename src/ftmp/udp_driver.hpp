@@ -1,0 +1,45 @@
+// udp_driver.hpp — drives one FTMP stack over real UDP IP-Multicast
+// sockets. The protocol code is identical to the simulated runs; only the
+// event loop differs: packets come from the kernel and time from
+// steady_clock.
+#pragma once
+
+#include <vector>
+
+#include "common/clock.hpp"
+#include "ftmp/events.hpp"
+#include "ftmp/stack.hpp"
+#include "net/udp_multicast.hpp"
+
+namespace ftcorba::ftmp {
+
+/// Single-threaded poll loop binding a Stack to UdpMulticastTransport.
+class UdpDriver {
+ public:
+  UdpDriver(Stack& stack, net::UdpMulticastTransport::Options options);
+
+  /// Monotonic wall time as a TimePoint (nanoseconds).
+  [[nodiscard]] static TimePoint wall_now();
+
+  /// Performs one iteration: waits up to `max_wait` for a datagram, feeds
+  /// it to the stack, runs due timers, transmits produced packets and syncs
+  /// group subscriptions. Returns true if a datagram was processed.
+  bool poll_once(Duration max_wait);
+
+  /// Runs poll_once until `wall` time has elapsed.
+  void run_for(Duration wall);
+
+  /// Drains events the stack emitted since the last call.
+  [[nodiscard]] std::vector<Event> take_events();
+
+ private:
+  void flush(TimePoint now);
+
+  Stack& stack_;
+  net::UdpMulticastTransport transport_;
+  Duration tick_granularity_ = 1 * kMillisecond;
+  TimePoint next_tick_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace ftcorba::ftmp

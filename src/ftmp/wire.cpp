@@ -1,0 +1,82 @@
+#include "ftmp/wire.hpp"
+
+namespace ftcorba::ftmp {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'F', 'T', 'M', 'P'};
+// Offset of the message-size field from the start of the header.
+constexpr std::size_t kSizeFieldOffset = 4 + 2 + 1 + 1;
+}  // namespace
+
+const char* to_string(MessageType t) {
+  switch (t) {
+    case MessageType::kRegular: return "Regular";
+    case MessageType::kRetransmitRequest: return "RetransmitRequest";
+    case MessageType::kHeartbeat: return "Heartbeat";
+    case MessageType::kConnectRequest: return "ConnectRequest";
+    case MessageType::kConnect: return "Connect";
+    case MessageType::kAddProcessor: return "AddProcessor";
+    case MessageType::kRemoveProcessor: return "RemoveProcessor";
+    case MessageType::kSuspect: return "Suspect";
+    case MessageType::kMembership: return "Membership";
+  }
+  return "Unknown";
+}
+
+void encode_header(Writer& w, const Header& header) {
+  for (std::uint8_t b : kMagic) w.u8(b);
+  w.u8(header.version.major);
+  w.u8(header.version.minor);
+  w.u8(header.byte_order == ByteOrder::kLittle ? 1 : 0);
+  w.u8(header.retransmission ? 1 : 0);
+  w.u32(header.message_size);
+  w.u8(static_cast<std::uint8_t>(header.type));
+  w.u32(header.source.raw());
+  w.u32(header.destination_group.raw());
+  w.u64(header.sequence_number);
+  w.u64(header.message_timestamp);
+  w.u64(header.ack_timestamp);
+}
+
+void patch_message_size(Writer& w, std::uint32_t total_size) {
+  w.patch_u32(kSizeFieldOffset, total_size);
+}
+
+Header decode_header(Reader& r) {
+  for (std::uint8_t expected : kMagic) {
+    if (r.u8() != expected) throw CodecError("bad FTMP magic");
+  }
+  Header h;
+  h.version.major = r.u8();
+  h.version.minor = r.u8();
+  if (h.version.major != 1) {
+    throw CodecError("unsupported FTMP version " + std::to_string(h.version.major));
+  }
+  const std::uint8_t order_flag = r.u8();
+  if (order_flag > 1) throw CodecError("bad byte-order flag");
+  h.byte_order = order_flag == 1 ? ByteOrder::kLittle : ByteOrder::kBig;
+  r.set_order(h.byte_order);
+  const std::uint8_t retrans = r.u8();
+  if (retrans > 1) throw CodecError("bad retransmission flag");
+  h.retransmission = retrans == 1;
+  h.message_size = r.u32();
+  const std::uint8_t type = r.u8();
+  if (type < 1 || type > 9) throw CodecError("bad message type " + std::to_string(type));
+  h.type = static_cast<MessageType>(type);
+  h.source = ProcessorId{r.u32()};
+  h.destination_group = ProcessorGroupId{r.u32()};
+  h.sequence_number = r.u64();
+  h.message_timestamp = r.u64();
+  h.ack_timestamp = r.u64();
+  return h;
+}
+
+bool looks_like_ftmp(BytesView datagram) {
+  if (datagram.size() < 4) return false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (datagram[i] != kMagic[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace ftcorba::ftmp

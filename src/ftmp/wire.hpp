@@ -1,0 +1,93 @@
+// wire.hpp — the FTMP message header (§3.2) and its binary codec.
+//
+// Header fields, exactly as the paper lists them:
+//   magic ("FTMP"), FTMP version, byte order, retransmission, message size,
+//   message type, source processor id, destination processor group id,
+//   sequence number, message timestamp, ack timestamp.
+//
+// Encoding: the first 8 bytes (magic, version major/minor, byte-order flag,
+// retransmission flag) are byte-order independent; every later multi-byte
+// field is encoded in the byte order announced by the flag, mirroring GIOP's
+// receiver-makes-right convention.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+#include "common/ids.hpp"
+
+namespace ftcorba::ftmp {
+
+/// The nine FTMP message types (Fig. 3).
+enum class MessageType : std::uint8_t {
+  kRegular = 1,           ///< Carries an encapsulated GIOP message.
+  kRetransmitRequest = 2, ///< Negative acknowledgment (RMP).
+  kHeartbeat = 3,         ///< Null message: carries seq/timestamps when idle.
+  kConnectRequest = 4,    ///< Client asks for a logical connection (PGMP).
+  kConnect = 5,           ///< Server establishes/rebinds a connection (PGMP).
+  kAddProcessor = 6,      ///< Adds a non-faulty processor to a group (PGMP).
+  kRemoveProcessor = 7,   ///< Removes a non-faulty processor (PGMP).
+  kSuspect = 8,           ///< Declares suspicion of faulty processors (PGMP).
+  kMembership = 9,        ///< Proposes a membership excluding convicted processors.
+};
+
+/// Human-readable message-type name (used by logs and the Fig. 3 bench).
+[[nodiscard]] const char* to_string(MessageType t);
+
+/// FTMP protocol version carried in the header; this implementation speaks 1.0.
+struct Version {
+  std::uint8_t major = 1;
+  std::uint8_t minor = 0;
+  friend constexpr auto operator<=>(const Version&, const Version&) = default;
+};
+
+/// The FTMP message header (§3.2). `message_size` covers header + payload
+/// and is filled in by the encoder.
+struct Header {
+  Version version{};
+  ByteOrder byte_order = ByteOrder::kBig;
+  /// False on first transmission, true on every retransmission (§3.2).
+  bool retransmission = false;
+  std::uint32_t message_size = 0;
+  MessageType type = MessageType::kHeartbeat;
+  ProcessorId source{};
+  ProcessorGroupId destination_group{};
+  /// Incremented for each reliably-delivered message from this source (§3.2).
+  SeqNum sequence_number = 0;
+  /// Derived from the source's Lamport clock; orders messages (ROMP).
+  Timestamp message_timestamp = 0;
+  /// Positive acknowledgment: sender holds all messages with timestamps
+  /// <= this value from every member of the destination group (ROMP buffer
+  /// management).
+  Timestamp ack_timestamp = 0;
+
+  friend constexpr auto operator<=>(const Header&, const Header&) = default;
+};
+
+/// Encoded size of the fixed header in bytes.
+inline constexpr std::size_t kHeaderSize = 4 /*magic*/ + 2 /*version*/ +
+                                           1 /*byte order*/ + 1 /*retrans*/ +
+                                           4 /*size*/ + 1 /*type*/ +
+                                           4 /*source*/ + 4 /*group*/ +
+                                           8 /*seq*/ + 8 /*msg ts*/ + 8 /*ack ts*/;
+
+/// Appends the header to `w` (which must use header.byte_order). The
+/// `message_size` field is written as given; use `patch_message_size` after
+/// the body is appended.
+void encode_header(Writer& w, const Header& header);
+
+/// Rewrites the message-size field of a header at buffer offset 0 once the
+/// total encoded length is known.
+void patch_message_size(Writer& w, std::uint32_t total_size);
+
+/// Decodes a header, validating magic and version, and switches `r` to the
+/// announced byte order for the remainder of the message.
+/// Throws CodecError on malformed input.
+[[nodiscard]] Header decode_header(Reader& r);
+
+/// Convenience: checks whether a datagram starts with the FTMP magic.
+[[nodiscard]] bool looks_like_ftmp(BytesView datagram);
+
+}  // namespace ftcorba::ftmp

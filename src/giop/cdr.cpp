@@ -1,0 +1,81 @@
+#include "giop/cdr.hpp"
+
+namespace ftcorba::giop {
+
+void CdrWriter::align(std::size_t alignment) {
+  while (buf_.size() % alignment != 0) buf_.push_back(0);
+}
+
+void CdrWriter::string(std::string_view s) {
+  ulong_(static_cast<std::uint32_t>(s.size() + 1));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+  buf_.push_back(0);
+}
+
+void CdrWriter::octet_seq(BytesView b) {
+  ulong_(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void CdrWriter::encapsulation(const CdrWriter& nested) {
+  ulong_(static_cast<std::uint32_t>(nested.size() + 1));
+  octet(nested.order() == ByteOrder::kLittle ? 1 : 0);
+  raw(nested.bytes());
+}
+
+void CdrWriter::patch_ulong(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buf_.size()) throw CdrError("patch_ulong out of range");
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t shift = order_ == ByteOrder::kBig ? (3 - i) * 8 : i * 8;
+    buf_[offset + i] = static_cast<std::uint8_t>((v >> shift) & 0xFF);
+  }
+}
+
+void CdrReader::align(std::size_t alignment) {
+  while (pos_ % alignment != 0) {
+    require(1);
+    ++pos_;
+  }
+}
+
+std::uint8_t CdrReader::octet() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::string CdrReader::string() {
+  const std::uint32_t len = ulong_();
+  if (len == 0) throw CdrError("CDR string length 0 (must include NUL)");
+  require(len);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len - 1);
+  if (data_[pos_ + len - 1] != 0) throw CdrError("CDR string missing NUL");
+  pos_ += len;
+  return out;
+}
+
+Bytes CdrReader::octet_seq() {
+  const std::uint32_t len = ulong_();
+  require(len);
+  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+CdrReader CdrReader::encapsulation() {
+  const std::uint32_t len = ulong_();
+  if (len == 0) throw CdrError("empty CDR encapsulation");
+  require(len);
+  const std::uint8_t order_flag = data_[pos_];
+  if (order_flag > 1) throw CdrError("bad encapsulation byte order");
+  CdrReader nested(data_.subspan(pos_ + 1, len - 1),
+                   order_flag == 1 ? ByteOrder::kLittle : ByteOrder::kBig);
+  pos_ += len;
+  return nested;
+}
+
+void CdrReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+}  // namespace ftcorba::giop

@@ -1,0 +1,166 @@
+// cdr.hpp — CORBA Common Data Representation (CDR) marshaling, the
+// substrate under GIOP (DESIGN.md S9). Implements the CORBA 2.2 rules FTMP
+// relies on:
+//   * primitives aligned to their natural size, relative to the start of
+//     the encapsulation;
+//   * receiver-makes-right byte ordering (both orders decodable);
+//   * strings are a ulong length *including* the terminating NUL, followed
+//     by the bytes and the NUL;
+//   * sequences are a ulong element count followed by the elements;
+//   * encapsulations are octet sequences whose first octet is the byte
+//     order of the nested data.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+
+namespace ftcorba::giop {
+
+/// Thrown on malformed CDR input; callers drop the message.
+class CdrError : public std::runtime_error {
+ public:
+  explicit CdrError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Marshals values into a CDR stream.
+class CdrWriter {
+ public:
+  explicit CdrWriter(ByteOrder order = ByteOrder::kBig) : order_(order) {}
+
+  [[nodiscard]] ByteOrder order() const { return order_; }
+
+  /// Inserts padding so the next value starts at a multiple of `alignment`.
+  void align(std::size_t alignment);
+
+  void octet(std::uint8_t v) { buf_.push_back(v); }
+  void boolean(bool v) { octet(v ? 1 : 0); }
+  void chr(char v) { octet(static_cast<std::uint8_t>(v)); }
+  void ushort_(std::uint16_t v) { put_int(v); }
+  void short_(std::int16_t v) { put_int(static_cast<std::uint16_t>(v)); }
+  void ulong_(std::uint32_t v) { put_int(v); }
+  void long_(std::int32_t v) { put_int(static_cast<std::uint32_t>(v)); }
+  void ulonglong_(std::uint64_t v) { put_int(v); }
+  void longlong_(std::int64_t v) { put_int(static_cast<std::uint64_t>(v)); }
+
+  void float_(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_int(bits);
+  }
+  void double_(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_int(bits);
+  }
+
+  /// CORBA string: ulong length including NUL, bytes, NUL.
+  void string(std::string_view s);
+
+  /// sequence<octet>: ulong count + raw bytes.
+  void octet_seq(BytesView b);
+
+  /// Raw bytes with no count or alignment (for pre-encoded payloads).
+  void raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  /// Encapsulation: ulong length + (byte-order octet + nested bytes).
+  void encapsulation(const CdrWriter& nested);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+
+  /// Overwrites a ulong previously written at `offset`.
+  void patch_ulong(std::size_t offset, std::uint32_t v);
+
+ private:
+  template <typename T>
+  void put_int(T v) {
+    align(sizeof(T));
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      const std::size_t shift =
+          order_ == ByteOrder::kBig ? (sizeof(T) - 1 - i) * 8 : i * 8;
+      buf_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+    }
+  }
+
+  ByteOrder order_;
+  Bytes buf_;
+};
+
+/// Unmarshals values from a CDR stream. Bounds-checked; throws CdrError.
+class CdrReader {
+ public:
+  explicit CdrReader(BytesView data, ByteOrder order = ByteOrder::kBig)
+      : data_(data), order_(order) {}
+
+  [[nodiscard]] ByteOrder order() const { return order_; }
+  void set_order(ByteOrder order) { order_ = order; }
+
+  /// Skips padding so the next value is read from a multiple of `alignment`.
+  void align(std::size_t alignment);
+
+  [[nodiscard]] std::uint8_t octet();
+  [[nodiscard]] bool boolean() { return octet() != 0; }
+  [[nodiscard]] char chr() { return static_cast<char>(octet()); }
+  [[nodiscard]] std::uint16_t ushort_() { return get_int<std::uint16_t>(); }
+  [[nodiscard]] std::int16_t short_() { return static_cast<std::int16_t>(get_int<std::uint16_t>()); }
+  [[nodiscard]] std::uint32_t ulong_() { return get_int<std::uint32_t>(); }
+  [[nodiscard]] std::int32_t long_() { return static_cast<std::int32_t>(get_int<std::uint32_t>()); }
+  [[nodiscard]] std::uint64_t ulonglong_() { return get_int<std::uint64_t>(); }
+  [[nodiscard]] std::int64_t longlong_() { return static_cast<std::int64_t>(get_int<std::uint64_t>()); }
+
+  [[nodiscard]] float float_() {
+    const std::uint32_t bits = get_int<std::uint32_t>();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] double double_() {
+    const std::uint64_t bits = get_int<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] std::string string();
+  [[nodiscard]] Bytes octet_seq();
+
+  /// Enters an encapsulation: returns a reader over the nested bytes with
+  /// the nested byte order applied, and skips past it in this stream.
+  [[nodiscard]] CdrReader encapsulation();
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] BytesView rest() const { return data_.subspan(pos_); }
+  void skip(std::size_t n);
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw CdrError("CDR read past end");
+  }
+  template <typename T>
+  [[nodiscard]] T get_int() {
+    align(sizeof(T));
+    require(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      const std::size_t shift =
+          order_ == ByteOrder::kBig ? (sizeof(T) - 1 - i) * 8 : i * 8;
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << shift);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  BytesView data_;
+  ByteOrder order_;
+  std::size_t pos_{0};
+};
+
+}  // namespace ftcorba::giop

@@ -1,0 +1,17 @@
+// packet.hpp — the unit the network layer moves around: a datagram addressed
+// to an IP-multicast group (Fig. 2's outermost encapsulation layer).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace ftcorba::net {
+
+/// One multicast datagram: destination group address + opaque payload
+/// (an encoded FTMP message).
+struct Datagram {
+  McastAddress addr{};
+  Bytes payload;
+};
+
+}  // namespace ftcorba::net

@@ -1,0 +1,154 @@
+#include "net/sim_network.hpp"
+
+#include <algorithm>
+
+namespace ftcorba::net {
+
+SimNetwork::SimNetwork(LinkModel defaults, std::uint64_t seed)
+    : defaults_(defaults), root_rng_(seed) {}
+
+void SimNetwork::attach(ProcessorId node) { nodes_.insert(node.raw()); }
+
+void SimNetwork::detach(ProcessorId node) {
+  nodes_.erase(node.raw());
+  crashed_.erase(node.raw());
+  for (auto& [addr, members] : subs_) members.erase(node.raw());
+}
+
+void SimNetwork::crash(ProcessorId node) { crashed_.insert(node.raw()); }
+
+void SimNetwork::revive(ProcessorId node) { crashed_.erase(node.raw()); }
+
+bool SimNetwork::crashed(ProcessorId node) const {
+  return crashed_.contains(node.raw());
+}
+
+void SimNetwork::subscribe(ProcessorId node, McastAddress addr) {
+  subs_[addr.raw()].insert(node.raw());
+}
+
+void SimNetwork::unsubscribe(ProcessorId node, McastAddress addr) {
+  auto it = subs_.find(addr.raw());
+  if (it != subs_.end()) it->second.erase(node.raw());
+}
+
+void SimNetwork::set_partition(const std::vector<std::vector<ProcessorId>>& cells) {
+  partition_cell_.clear();
+  partitioned_ = !cells.empty();
+  std::uint32_t cell_id = 0;
+  for (const auto& cell : cells) {
+    for (ProcessorId p : cell) partition_cell_[p.raw()] = cell_id;
+    ++cell_id;
+  }
+}
+
+void SimNetwork::set_link(ProcessorId from, ProcessorId to, LinkModel model) {
+  link_overrides_[{from.raw(), to.raw()}] = model;
+}
+
+const LinkModel& SimNetwork::link(ProcessorId from, ProcessorId to) const {
+  auto it = link_overrides_.find({from.raw(), to.raw()});
+  return it != link_overrides_.end() ? it->second : defaults_;
+}
+
+bool SimNetwork::reachable(ProcessorId from, ProcessorId to) const {
+  if (crashed_.contains(from.raw()) || crashed_.contains(to.raw())) return false;
+  if (!partitioned_) return true;
+  auto a = partition_cell_.find(from.raw());
+  auto b = partition_cell_.find(to.raw());
+  // Nodes absent from every cell are isolated.
+  if (a == partition_cell_.end() || b == partition_cell_.end()) return false;
+  return a->second == b->second;
+}
+
+Rng& SimNetwork::link_rng(ProcessorId from, ProcessorId to) {
+  auto key = std::make_pair(from.raw(), to.raw());
+  auto it = link_rngs_.find(key);
+  if (it == link_rngs_.end()) {
+    const std::uint64_t stream =
+        (std::uint64_t(from.raw()) << 32) | std::uint64_t(to.raw());
+    it = link_rngs_.emplace(key, root_rng_.split(stream)).first;
+  }
+  return it->second;
+}
+
+void SimNetwork::enqueue(TimePoint at, ProcessorId dest, const Datagram& d) {
+  queue_.push(QueuedDelivery{at, tie_counter_++, dest, d});
+}
+
+void SimNetwork::send(TimePoint now, ProcessorId from, const Datagram& datagram) {
+  stats_.packets_sent += 1;
+  stats_.bytes_sent += datagram.payload.size();
+  if (tap_) tap_(now, from, datagram);
+  if (crashed_.contains(from.raw())) return;  // a crashed host emits nothing
+  auto it = subs_.find(datagram.addr.raw());
+  if (it == subs_.end()) return;
+
+  // Uplink serialization: with finite bandwidth the packet leaves the
+  // sender only when its previous transmissions have drained. One
+  // transmission serves every receiver (multicast on a shared medium).
+  TimePoint depart = now;
+  const LinkModel& sender_model = link(from, from);
+  if (sender_model.bandwidth_bps > 0) {
+    TimePoint& free_at = uplink_free_at_[from.raw()];
+    depart = std::max(now, free_at);
+    const auto tx_time = static_cast<Duration>(
+        double(datagram.payload.size()) * 8.0 * double(kSecond) /
+        sender_model.bandwidth_bps);
+    free_at = depart + tx_time;
+    depart = free_at;
+  }
+
+  // Deterministic fan-out order: sorted receiver ids.
+  std::vector<std::uint32_t> receivers(it->second.begin(), it->second.end());
+  std::sort(receivers.begin(), receivers.end());
+
+  for (std::uint32_t raw_dest : receivers) {
+    const ProcessorId dest{raw_dest};
+    if (dest == from) {
+      // Host loopback: lossless, negligible delay.
+      enqueue(depart + 1 * kMicrosecond, dest, datagram);
+      stats_.receiver_deliveries += 1;
+      continue;
+    }
+    if (!reachable(from, dest)) {
+      stats_.receiver_drops += 1;
+      continue;
+    }
+    const LinkModel& m = link(from, dest);
+    Rng& rng = link_rng(from, dest);
+    if (rng.chance(m.loss)) {
+      stats_.receiver_drops += 1;
+      continue;
+    }
+    Duration extra = m.jitter > 0 ? rng.next_in(0, m.jitter) : 0;
+    enqueue(depart + m.delay + extra, dest, datagram);
+    stats_.receiver_deliveries += 1;
+    if (rng.chance(m.duplicate)) {
+      Duration extra2 = m.jitter > 0 ? rng.next_in(0, m.jitter) : 0;
+      enqueue(depart + m.delay + extra2 + 1, dest, datagram);
+      stats_.receiver_duplicates += 1;
+    }
+  }
+}
+
+std::optional<TimePoint> SimNetwork::next_delivery_time() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().at;
+}
+
+std::optional<Delivery> SimNetwork::pop_due(TimePoint until) {
+  if (queue_.empty() || queue_.top().at > until) return std::nullopt;
+  const QueuedDelivery& top = queue_.top();
+  Delivery out{top.at, top.dest, top.datagram};
+  queue_.pop();
+  // A packet already in flight toward a node that crashed meanwhile is lost.
+  if (crashed_.contains(out.dest.raw()) || !nodes_.contains(out.dest.raw())) {
+    stats_.receiver_drops += 1;
+    stats_.receiver_deliveries -= 1;
+    return pop_due(until);
+  }
+  return out;
+}
+
+}  // namespace ftcorba::net

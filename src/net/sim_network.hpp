@@ -1,0 +1,184 @@
+// sim_network.hpp — a deterministic discrete-event model of an IP-multicast
+// network.
+//
+// This is the substitute for the paper's LAN testbed (DESIGN.md S2): every
+// protocol state machine in this repository is sans-IO, and in tests and
+// benchmarks it is driven by this simulator, which provides:
+//
+//   * best-effort multicast fan-out to all subscribers of an address,
+//     including local loopback to the sender (lossless, as on a real host);
+//   * per-receiver independent packet loss, delay and jitter, duplication,
+//     and reordering (jitter naturally reorders);
+//   * crashes and network partitions, for fault-injection tests;
+//   * full determinism: equal seeds yield byte-identical runs;
+//   * wire statistics (packets/bytes sent, dropped, delivered) that the
+//     benchmark harness reports as "network traffic".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/packet.hpp"
+
+namespace ftcorba::net {
+
+/// Fault/latency model of every (sender, receiver) link. Individual links
+/// can be overridden via SimNetwork::set_link.
+struct LinkModel {
+  /// Probability in [0,1] that a given receiver does not get a packet.
+  double loss = 0.0;
+  /// Probability in [0,1] that a receiver gets a packet twice.
+  double duplicate = 0.0;
+  /// Fixed one-way propagation + processing delay.
+  Duration delay = 100 * kMicrosecond;
+  /// Uniform extra delay in [0, jitter] added per packet per receiver.
+  /// Jitter > delay gap between packets produces reordering.
+  Duration jitter = 20 * kMicrosecond;
+  /// Transmit bandwidth per sender in bits/s; 0 = infinite. Each sender's
+  /// packets serialize onto its uplink (one transmission per multicast, as
+  /// on a shared medium), which is what makes asymmetric protocols — e.g. a
+  /// sequencer emitting a ticket per message — saturate realistically.
+  double bandwidth_bps = 0;
+};
+
+/// A packet due for delivery to one node.
+struct Delivery {
+  TimePoint at{};
+  ProcessorId dest{};
+  Datagram datagram;
+};
+
+/// Counters describing everything that crossed the simulated wire.
+struct WireStats {
+  std::uint64_t packets_sent = 0;      ///< send() calls (one per multicast).
+  std::uint64_t bytes_sent = 0;        ///< payload bytes across send() calls.
+  std::uint64_t receiver_deliveries = 0;  ///< per-receiver handed-up packets.
+  std::uint64_t receiver_drops = 0;       ///< per-receiver losses (incl. partition/crash).
+  std::uint64_t receiver_duplicates = 0;  ///< extra copies delivered.
+};
+
+/// Deterministic discrete-event IP-multicast simulator.
+///
+/// Usage pattern (see ftmp::SimHarness):
+///   net.attach(p); net.subscribe(p, addr);
+///   net.send(now, p, datagram);
+///   while (auto d = net.pop_due(until)) { ...hand to stack d->dest... }
+class SimNetwork {
+ public:
+  /// Creates a network with the given default link model; `seed` fixes all
+  /// random choices (loss, jitter, duplication).
+  explicit SimNetwork(LinkModel defaults = {}, std::uint64_t seed = 1);
+
+  /// Registers a node. Idempotent.
+  void attach(ProcessorId node);
+
+  /// Removes a node entirely (no further deliveries in or out).
+  void detach(ProcessorId node);
+
+  /// Marks a node crashed: packets from/to it vanish. Unlike detach, the
+  /// node stays known, and can be revived with `revive`.
+  void crash(ProcessorId node);
+
+  /// Clears the crashed flag.
+  void revive(ProcessorId node);
+
+  /// True if `node` is currently crashed.
+  [[nodiscard]] bool crashed(ProcessorId node) const;
+
+  /// Subscribes a node to a multicast address (IGMP join equivalent).
+  void subscribe(ProcessorId node, McastAddress addr);
+
+  /// Unsubscribes a node from a multicast address.
+  void unsubscribe(ProcessorId node, McastAddress addr);
+
+  /// Multicasts a datagram from `from` at time `now`. Fan-out, loss, delay
+  /// and duplication are decided immediately (deterministically); resulting
+  /// deliveries are queued. Loopback to the sender is lossless with minimal
+  /// delay, as on a real host with IP_MULTICAST_LOOP.
+  void send(TimePoint now, ProcessorId from, const Datagram& datagram);
+
+  /// Splits the network: nodes in different cells cannot exchange packets.
+  /// Each inner vector is one cell; nodes absent from all cells are
+  /// unreachable by everyone. Pass {} to heal.
+  void set_partition(const std::vector<std::vector<ProcessorId>>& cells);
+
+  /// Heals any partition.
+  void heal() { set_partition({}); }
+
+  /// Overrides the link model for one directed (sender → receiver) pair.
+  void set_link(ProcessorId from, ProcessorId to, LinkModel model);
+
+  /// Replaces the default link model for pairs without an override.
+  void set_default_link(LinkModel model) { defaults_ = model; }
+
+  /// Time of the earliest queued delivery, if any.
+  [[nodiscard]] std::optional<TimePoint> next_delivery_time() const;
+
+  /// Pops the earliest delivery if it is due at or before `until`.
+  [[nodiscard]] std::optional<Delivery> pop_due(TimePoint until);
+
+  /// True when no deliveries are queued.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Wire statistics accumulated since construction (or reset_stats()).
+  [[nodiscard]] const WireStats& stats() const { return stats_; }
+
+  /// Zeroes the wire statistics.
+  void reset_stats() { stats_ = {}; }
+
+  /// Installs a wire tap invoked once per send() with the sender and the
+  /// datagram (before loss is applied). Benches use it to account traffic
+  /// per protocol message type.
+  void set_tap(std::function<void(TimePoint, ProcessorId, const Datagram&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+ private:
+  struct QueuedDelivery {
+    TimePoint at;
+    std::uint64_t tie;  // FIFO tie-break for equal timestamps (determinism).
+    ProcessorId dest;
+    Datagram datagram;
+  };
+  struct QueueOrder {
+    bool operator()(const QueuedDelivery& a, const QueuedDelivery& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.tie > b.tie;
+    }
+  };
+  struct PairHash {
+    std::size_t operator()(const std::pair<std::uint32_t, std::uint32_t>& p) const {
+      return std::hash<std::uint64_t>{}((std::uint64_t(p.first) << 32) | p.second);
+    }
+  };
+
+  [[nodiscard]] const LinkModel& link(ProcessorId from, ProcessorId to) const;
+  [[nodiscard]] bool reachable(ProcessorId from, ProcessorId to) const;
+  [[nodiscard]] Rng& link_rng(ProcessorId from, ProcessorId to);
+  void enqueue(TimePoint at, ProcessorId dest, const Datagram& d);
+
+  LinkModel defaults_;
+  Rng root_rng_;
+  std::unordered_set<std::uint32_t> nodes_;
+  std::unordered_set<std::uint32_t> crashed_;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> subs_;  // addr -> nodes
+  std::unordered_map<std::pair<std::uint32_t, std::uint32_t>, LinkModel, PairHash> link_overrides_;
+  std::unordered_map<std::pair<std::uint32_t, std::uint32_t>, Rng, PairHash> link_rngs_;
+  std::unordered_map<std::uint32_t, std::uint32_t> partition_cell_;  // node -> cell id
+  std::unordered_map<std::uint32_t, TimePoint> uplink_free_at_;  // sender -> time
+  bool partitioned_ = false;
+  std::priority_queue<QueuedDelivery, std::vector<QueuedDelivery>, QueueOrder> queue_;
+  std::uint64_t tie_counter_ = 0;
+  WireStats stats_;
+  std::function<void(TimePoint, ProcessorId, const Datagram&)> tap_;
+};
+
+}  // namespace ftcorba::net

@@ -1,0 +1,148 @@
+#include "net/udp_multicast.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ftcorba::net {
+
+namespace {
+[[noreturn]] void fail(const std::string& op) {
+  throw TransportError(op + ": " + std::strerror(errno));
+}
+}  // namespace
+
+std::string UdpMulticastTransport::group_ip(McastAddress addr) {
+  const std::uint32_t raw = addr.raw();
+  return "239.192." + std::to_string((raw >> 8) & 0xFF) + "." +
+         std::to_string(raw & 0xFF);
+}
+
+UdpMulticastTransport::UdpMulticastTransport(Options options)
+    : options_(std::move(options)) {
+  send_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (send_fd_ < 0) fail("socket(send)");
+
+  in_addr iface{};
+  if (::inet_pton(AF_INET, options_.interface_ip.c_str(), &iface) != 1) {
+    ::close(send_fd_);
+    throw TransportError("bad interface ip: " + options_.interface_ip);
+  }
+  if (::setsockopt(send_fd_, IPPROTO_IP, IP_MULTICAST_IF, &iface, sizeof(iface)) < 0) {
+    int saved = errno;
+    ::close(send_fd_);
+    errno = saved;
+    fail("setsockopt(IP_MULTICAST_IF)");
+  }
+  const unsigned char ttl = static_cast<unsigned char>(options_.ttl);
+  (void)::setsockopt(send_fd_, IPPROTO_IP, IP_MULTICAST_TTL, &ttl, sizeof(ttl));
+  const unsigned char loop = options_.loopback ? 1 : 0;
+  (void)::setsockopt(send_fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof(loop));
+}
+
+UdpMulticastTransport::~UdpMulticastTransport() {
+  if (send_fd_ >= 0) ::close(send_fd_);
+  for (auto& [addr, fd] : group_fds_) ::close(fd);
+}
+
+int UdpMulticastTransport::open_group_socket(McastAddress addr) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) fail("socket(recv)");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+#endif
+
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_port = htons(options_.port);
+  // Bind to the group address itself so this socket only sees this group.
+  if (::inet_pton(AF_INET, group_ip(addr).c_str(), &bind_addr.sin_addr) != 1) {
+    ::close(fd);
+    throw TransportError("bad group ip");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&bind_addr), sizeof(bind_addr)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("bind(group)");
+  }
+
+  ip_mreq mreq{};
+  mreq.imr_multiaddr = bind_addr.sin_addr;
+  if (::inet_pton(AF_INET, options_.interface_ip.c_str(), &mreq.imr_interface) != 1) {
+    ::close(fd);
+    throw TransportError("bad interface ip");
+  }
+  if (::setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof(mreq)) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("setsockopt(IP_ADD_MEMBERSHIP)");
+  }
+  return fd;
+}
+
+void UdpMulticastTransport::join(McastAddress addr) {
+  if (group_fds_.contains(addr.raw())) return;
+  group_fds_[addr.raw()] = open_group_socket(addr);
+}
+
+void UdpMulticastTransport::leave(McastAddress addr) {
+  auto it = group_fds_.find(addr.raw());
+  if (it == group_fds_.end()) return;
+  ::close(it->second);
+  group_fds_.erase(it);
+}
+
+void UdpMulticastTransport::send(const Datagram& datagram) {
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, group_ip(datagram.addr).c_str(), &dest.sin_addr) != 1) {
+    throw TransportError("bad group ip");
+  }
+  const ssize_t n =
+      ::sendto(send_fd_, datagram.payload.data(), datagram.payload.size(), 0,
+               reinterpret_cast<sockaddr*>(&dest), sizeof(dest));
+  if (n < 0) fail("sendto");
+}
+
+std::optional<Datagram> UdpMulticastTransport::receive(Duration timeout) {
+  if (group_fds_.empty()) return std::nullopt;
+  std::vector<pollfd> fds;
+  std::vector<std::uint32_t> addrs;
+  fds.reserve(group_fds_.size());
+  for (auto& [addr, fd] : group_fds_) {
+    fds.push_back(pollfd{fd, POLLIN, 0});
+    addrs.push_back(addr);
+  }
+  const int timeout_ms =
+      static_cast<int>(std::max<Duration>(0, timeout) / kMillisecond);
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;
+    fail("poll");
+  }
+  if (ready == 0) return std::nullopt;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (!(fds[i].revents & POLLIN)) continue;
+    Bytes buf(65536);
+    const ssize_t n = ::recv(fds[i].fd, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EINTR) continue;
+      fail("recv");
+    }
+    buf.resize(static_cast<std::size_t>(n));
+    return Datagram{McastAddress{addrs[i]}, std::move(buf)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftcorba::net

@@ -1,0 +1,179 @@
+#include "orb/iiop_sim.hpp"
+
+#include "common/codec.hpp"
+
+namespace ftcorba::orb {
+
+namespace {
+constexpr std::uint8_t kTcpMagic[4] = {'T', 'C', 'P', 'S'};
+
+struct Segment {
+  bool is_ack = false;
+  std::uint64_t seq = 0;  // data seq, or cumulative ack (next expected)
+  Bytes payload;
+};
+
+[[nodiscard]] Bytes encode_segment(const Segment& s) {
+  Writer w(ByteOrder::kBig);
+  for (std::uint8_t b : kTcpMagic) w.u8(b);
+  w.u8(s.is_ack ? 1 : 0);
+  w.u64(s.seq);
+  w.blob(s.payload);
+  return std::move(w).take();
+}
+
+[[nodiscard]] std::optional<Segment> decode_segment(BytesView data) {
+  try {
+    Reader r(data, ByteOrder::kBig);
+    for (std::uint8_t expected : kTcpMagic) {
+      if (r.u8() != expected) return std::nullopt;
+    }
+    Segment s;
+    s.is_ack = r.u8() == 1;
+    s.seq = r.u64();
+    s.payload = r.blob();
+    if (!r.exhausted()) return std::nullopt;
+    return s;
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+}  // namespace
+
+TcpSimEndpoint::TcpSimEndpoint(McastAddress inbox, McastAddress peer_inbox, Duration rto)
+    : inbox_(inbox), peer_inbox_(peer_inbox), rto_(rto) {}
+
+void TcpSimEndpoint::emit_segment(std::uint64_t seq, const Bytes& payload, bool is_ack) {
+  out_.push_back(net::Datagram{peer_inbox_, encode_segment({is_ack, seq, payload})});
+}
+
+void TcpSimEndpoint::send(TimePoint now, BytesView message) {
+  const std::uint64_t seq = next_send_seq_++;
+  Bytes copy(message.begin(), message.end());
+  emit_segment(seq, copy, /*is_ack=*/false);
+  unacked_.emplace(seq, std::make_pair(std::move(copy), now));
+}
+
+void TcpSimEndpoint::on_datagram(TimePoint now, BytesView payload) {
+  auto segment = decode_segment(payload);
+  if (!segment) return;
+  if (segment->is_ack) {
+    // Cumulative: everything below `seq` is acknowledged.
+    unacked_.erase(unacked_.begin(), unacked_.lower_bound(segment->seq));
+    return;
+  }
+  if (segment->seq >= next_recv_seq_ && !reorder_.contains(segment->seq)) {
+    reorder_.emplace(segment->seq, std::move(segment->payload));
+    while (!reorder_.empty() && reorder_.begin()->first == next_recv_seq_) {
+      delivered_.push_back(std::move(reorder_.begin()->second));
+      reorder_.erase(reorder_.begin());
+      ++next_recv_seq_;
+    }
+  }
+  // Ack every data segment (duplicates included, so lost acks heal).
+  emit_segment(next_recv_seq_, {}, /*is_ack=*/true);
+  (void)now;
+}
+
+void TcpSimEndpoint::tick(TimePoint now) {
+  for (auto& [seq, entry] : unacked_) {
+    auto& [payload, last_tx] = entry;
+    if (now - last_tx >= rto_) {
+      emit_segment(seq, payload, /*is_ack=*/false);
+      last_tx = now;
+    }
+  }
+}
+
+std::vector<net::Datagram> TcpSimEndpoint::take_packets() {
+  std::vector<net::Datagram> out;
+  out.swap(out_);
+  return out;
+}
+
+std::vector<Bytes> TcpSimEndpoint::take_delivered() {
+  std::vector<Bytes> out;
+  out.swap(delivered_);
+  return out;
+}
+
+IiopEndpoint::IiopEndpoint(McastAddress inbox, McastAddress peer_inbox, ByteOrder byte_order)
+    : channel_(inbox, peer_inbox), byte_order_(byte_order) {}
+
+void IiopEndpoint::serve(ObjectKey key, std::shared_ptr<Servant> servant) {
+  servants_[std::move(key)] = std::move(servant);
+}
+
+std::uint32_t IiopEndpoint::invoke(TimePoint now, const ObjectKey& key,
+                                   const std::string& operation,
+                                   const giop::CdrWriter& args,
+                                   std::function<void(const giop::Reply&)> handler) {
+  giop::Request request;
+  request.request_id = ++next_request_id_;
+  request.response_expected = true;
+  request.object_key = key.key;
+  request.operation = operation;
+  request.body = args.bytes();
+  giop::GiopMessage msg;
+  msg.header.byte_order = byte_order_;
+  msg.body = std::move(request);
+  channel_.send(now, giop::encode(msg));
+  if (handler) handlers_[next_request_id_] = std::move(handler);
+  return next_request_id_;
+}
+
+void IiopEndpoint::process_delivered(TimePoint now) {
+  for (const Bytes& raw : channel_.take_delivered()) {
+    giop::GiopMessage msg;
+    try {
+      msg = giop::decode(raw);
+    } catch (const giop::CdrError&) {
+      continue;
+    }
+    if (const auto* request = std::get_if<giop::Request>(&msg.body)) {
+      auto servant = servants_.find(ObjectKey{request->object_key});
+      if (servant == servants_.end()) continue;
+      giop::CdrReader in(request->body, msg.header.byte_order);
+      giop::CdrWriter out(byte_order_);
+      giop::ReplyStatus status;
+      try {
+        status = servant->second->invoke(request->operation, in, out);
+      } catch (const std::exception& e) {
+        status = giop::ReplyStatus::kSystemException;
+        out = giop::CdrWriter(byte_order_);
+        out.string(e.what());
+      }
+      if (!request->response_expected) continue;
+      giop::Reply reply;
+      reply.request_id = request->request_id;
+      reply.status = status;
+      reply.body = out.bytes();
+      giop::GiopMessage reply_msg;
+      reply_msg.header.byte_order = byte_order_;
+      reply_msg.body = std::move(reply);
+      channel_.send(now, giop::encode(reply_msg));
+    } else if (const auto* reply = std::get_if<giop::Reply>(&msg.body)) {
+      auto it = handlers_.find(reply->request_id);
+      if (it == handlers_.end()) continue;
+      auto handler = std::move(it->second);
+      handlers_.erase(it);
+      handler(*reply);
+    }
+  }
+}
+
+void IiopEndpoint::on_datagram(TimePoint now, BytesView payload) {
+  channel_.on_datagram(now, payload);
+  process_delivered(now);
+}
+
+void IiopEndpoint::tick(TimePoint now) {
+  channel_.tick(now);
+  process_delivered(now);
+}
+
+std::vector<net::Datagram> IiopEndpoint::take_packets() {
+  return channel_.take_packets();
+}
+
+}  // namespace ftcorba::orb

@@ -1,0 +1,62 @@
+#include "orb/ior.hpp"
+
+namespace ftcorba::orb {
+
+namespace {
+constexpr char kPrefix[] = "FTIOR:";
+constexpr std::uint8_t kVersion = 1;
+
+[[nodiscard]] int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_ior(const GroupObjectRef& ref) {
+  giop::CdrWriter profile;
+  profile.octet(kVersion);
+  profile.ulong_(ref.domain.raw());
+  profile.ulong_(ref.object_group.raw());
+  profile.ulong_(ref.domain_address.raw());
+  profile.octet_seq(ref.key.key);
+
+  giop::CdrWriter outer;
+  outer.encapsulation(profile);
+  return std::string(kPrefix) + to_hex(outer.bytes());
+}
+
+std::optional<GroupObjectRef> from_ior(std::string_view ior) {
+  const std::string_view prefix{kPrefix};
+  if (ior.substr(0, prefix.size()) != prefix) return std::nullopt;
+  const std::string_view hex = ior.substr(prefix.size());
+  if (hex.size() % 2 != 0 || hex.empty()) return std::nullopt;
+
+  Bytes raw;
+  raw.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    raw.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+
+  try {
+    giop::CdrReader outer(raw);
+    giop::CdrReader profile = outer.encapsulation();
+    if (!outer.exhausted()) return std::nullopt;
+    if (profile.octet() != kVersion) return std::nullopt;
+    GroupObjectRef ref;
+    ref.domain = FtDomainId{profile.ulong_()};
+    ref.object_group = ObjectGroupId{profile.ulong_()};
+    ref.domain_address = McastAddress{profile.ulong_()};
+    ref.key = ObjectKey{profile.octet_seq()};
+    if (!profile.exhausted()) return std::nullopt;
+    return ref;
+  } catch (const giop::CdrError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ftcorba::orb

@@ -1,0 +1,27 @@
+// ior.hpp — stringified group object references. Real CORBA passes IORs
+// ("IOR:<hex of a CDR encapsulation>") between processes; the equivalent
+// here is a reference to a *replicated* object: the fault-tolerance
+// domain, the object group, the domain's multicast address (what a client
+// needs to send a ConnectRequest) and the object key.
+//
+// Format: "FTIOR:" + lowercase hex of a CDR encapsulation containing a
+// version octet and the four fields. The encapsulation carries its own
+// byte order, exactly like a real IOR profile.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "giop/cdr.hpp"
+#include "orb/object.hpp"
+
+namespace ftcorba::orb {
+
+/// Stringifies a group object reference.
+[[nodiscard]] std::string to_ior(const GroupObjectRef& ref);
+
+/// Parses a stringified reference; nullopt on any malformed input
+/// (wrong prefix, bad hex, truncated encapsulation, unknown version).
+[[nodiscard]] std::optional<GroupObjectRef> from_ior(std::string_view ior);
+
+}  // namespace ftcorba::orb

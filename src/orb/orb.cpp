@@ -1,0 +1,234 @@
+#include "orb/orb.hpp"
+
+#include "common/log.hpp"
+
+namespace ftcorba::orb {
+
+Orb::Orb(ftmp::Stack& stack, ByteOrder byte_order)
+    : stack_(stack), byte_order_(byte_order) {}
+
+void Orb::activate(const ObjectKey& key, std::shared_ptr<Servant> servant) {
+  servants_[key] = std::move(servant);
+}
+
+void Orb::deactivate(const ObjectKey& key) { servants_.erase(key); }
+
+RequestNum Orb::next_request_num(const ConnectionId& connection) {
+  return ++request_counters_[connection];
+}
+
+std::optional<RequestNum> Orb::invoke(TimePoint now, const ConnectionId& connection,
+                                      const ObjectKey& key, const std::string& operation,
+                                      const giop::CdrWriter& args, ReplyHandler handler,
+                                      bool response_expected) {
+  giop::Request request;
+  const RequestNum num = next_request_num(connection);
+  request.request_id = static_cast<std::uint32_t>(num);
+  request.response_expected = response_expected;
+  request.object_key = key.key;
+  request.operation = operation;
+  request.body = args.bytes();
+
+  giop::GiopMessage msg;
+  msg.header.byte_order = byte_order_;
+  msg.body = std::move(request);
+  const Bytes giop_bytes = giop::encode(msg);
+
+  if (!stack_.send(now, connection, num, giop_bytes)) {
+    request_counters_[connection] -= 1;  // keep replicas' numbering aligned
+    return std::nullopt;
+  }
+  if (response_expected && handler) {
+    handlers_[{connection, num}] = std::move(handler);
+  }
+  return num;
+}
+
+std::optional<RequestNum> Orb::locate(TimePoint now, const ConnectionId& connection,
+                                      const ObjectKey& key,
+                                      std::function<void(giop::LocateStatus)> handler) {
+  giop::LocateRequest request;
+  const RequestNum num = next_request_num(connection);
+  request.request_id = static_cast<std::uint32_t>(num);
+  request.object_key = key.key;
+
+  giop::GiopMessage msg;
+  msg.header.byte_order = byte_order_;
+  msg.body = std::move(request);
+  if (!stack_.send(now, connection, num, giop::encode(msg))) {
+    request_counters_[connection] -= 1;
+    return std::nullopt;
+  }
+  if (handler) locate_handlers_[{connection, num}] = std::move(handler);
+  return num;
+}
+
+void Orb::on_event(TimePoint now, const ftmp::Event& event) {
+  const auto* dm = std::get_if<ftmp::DeliveredMessage>(&event);
+  if (!dm) return;
+
+  giop::GiopMessage msg;
+  try {
+    msg = giop::decode(dm->giop_message);
+  } catch (const giop::CdrError& e) {
+    stats_.undecodable_payloads += 1;
+    FTC_LOG(kDebug) << "orb: undecodable GIOP payload: " << e.what();
+    return;
+  }
+
+  switch (msg.header.type) {
+    case giop::MsgType::kRequest:
+      if (!dedup_.accept(dm->connection, dm->request_num, ft::MessageKind::kRequest)) {
+        stats_.duplicates_suppressed += 1;
+        return;
+      }
+      if (log_) {
+        log_->record(ft::LogEntry{ft::MessageKind::kRequest, dm->connection,
+                                  dm->request_num, dm->timestamp, dm->giop_message});
+      }
+      handle_request(now, *dm, std::get<giop::Request>(msg.body),
+                     msg.header.byte_order);
+      break;
+    case giop::MsgType::kLocateRequest:
+      if (!dedup_.accept(dm->connection, dm->request_num, ft::MessageKind::kRequest)) {
+        stats_.duplicates_suppressed += 1;
+        return;
+      }
+      handle_locate_request(now, *dm, std::get<giop::LocateRequest>(msg.body));
+      break;
+    case giop::MsgType::kReply:
+      if (!dedup_.accept(dm->connection, dm->request_num, ft::MessageKind::kReply)) {
+        stats_.duplicates_suppressed += 1;
+        return;
+      }
+      if (log_) {
+        log_->record(ft::LogEntry{ft::MessageKind::kReply, dm->connection,
+                                  dm->request_num, dm->timestamp, dm->giop_message});
+      }
+      handle_reply(std::get<giop::Reply>(msg.body), *dm, msg.header.byte_order);
+      break;
+    case giop::MsgType::kLocateReply: {
+      if (!dedup_.accept(dm->connection, dm->request_num, ft::MessageKind::kReply)) {
+        stats_.duplicates_suppressed += 1;
+        return;
+      }
+      auto it = locate_handlers_.find({dm->connection, dm->request_num});
+      if (it != locate_handlers_.end()) {
+        auto handler = std::move(it->second);
+        locate_handlers_.erase(it);
+        handler(std::get<giop::LocateReply>(msg.body).status);
+      }
+      break;
+    }
+    case giop::MsgType::kCancelRequest: {
+      // Best-effort: drop any still-pending handler for the request.
+      const auto& body = std::get<giop::CancelRequest>(msg.body);
+      handlers_.erase({dm->connection, RequestNum{body.request_id}});
+      break;
+    }
+    default:
+      break;  // CloseConnection / MessageError / Fragment: no dispatch
+  }
+}
+
+void Orb::set_deadline(const ConnectionId& connection, RequestNum request_num,
+                       TimePoint deadline, std::function<void()> on_timeout) {
+  deadlines_[{connection, request_num}] = {deadline, std::move(on_timeout)};
+}
+
+std::size_t Orb::expire(TimePoint now) {
+  std::size_t fired = 0;
+  for (auto it = deadlines_.begin(); it != deadlines_.end();) {
+    if (it->second.first > now) {
+      ++it;
+      continue;
+    }
+    // Only a still-pending invocation can time out.
+    const bool pending =
+        handlers_.contains(it->first) || locate_handlers_.contains(it->first);
+    auto on_timeout = std::move(it->second.second);
+    handlers_.erase(it->first);
+    locate_handlers_.erase(it->first);
+    it = deadlines_.erase(it);
+    if (pending) {
+      ++fired;
+      if (on_timeout) on_timeout();
+    }
+  }
+  return fired;
+}
+
+bool Orb::cancel(TimePoint now, const ConnectionId& connection, RequestNum request_num) {
+  const auto key = std::make_pair(connection, request_num);
+  handlers_.erase(key);
+  locate_handlers_.erase(key);
+  deadlines_.erase(key);
+  giop::CancelRequest body;
+  body.request_id = static_cast<std::uint32_t>(request_num);
+  giop::GiopMessage msg;
+  msg.header.byte_order = byte_order_;
+  msg.body = body;
+  return stack_.send(now, connection, request_num, giop::encode(msg));
+}
+
+void Orb::handle_request(TimePoint now, const ftmp::DeliveredMessage& dm,
+                         const giop::Request& request, ByteOrder arg_order) {
+  auto servant = servants_.find(ObjectKey{request.object_key});
+  if (servant == servants_.end()) {
+    // Delivered to both groups (§4): the client group legitimately sees the
+    // request too and simply has no servant for it.
+    stats_.unknown_objects += 1;
+    return;
+  }
+  // Arguments were marshaled in the sender's GIOP byte order.
+  giop::CdrReader args(request.body, arg_order);
+  giop::CdrWriter results(byte_order_);
+  giop::ReplyStatus status;
+  try {
+    status = servant->second->invoke(request.operation, args, results);
+  } catch (const std::exception& e) {
+    status = giop::ReplyStatus::kSystemException;
+    results = giop::CdrWriter(byte_order_);
+    results.string(e.what());
+  }
+  stats_.requests_dispatched += 1;
+  if (!request.response_expected || servant->second->suppress_reply()) return;
+
+  giop::Reply reply;
+  reply.request_id = request.request_id;
+  reply.status = status;
+  reply.body = results.bytes();
+  giop::GiopMessage msg;
+  msg.header.byte_order = byte_order_;
+  msg.body = std::move(reply);
+  // Same connection id and request number as the request (§4): the pair
+  // also matches the reply to the request when replaying from a log.
+  (void)stack_.send(now, dm.connection, dm.request_num, giop::encode(msg));
+}
+
+void Orb::handle_locate_request(TimePoint now, const ftmp::DeliveredMessage& dm,
+                                const giop::LocateRequest& request) {
+  const bool here = servants_.contains(ObjectKey{request.object_key});
+  // Only processors hosting servants answer; the client group stays silent.
+  if (!here) return;
+  giop::LocateReply reply;
+  reply.request_id = request.request_id;
+  reply.status = giop::LocateStatus::kObjectHere;
+  giop::GiopMessage msg;
+  msg.header.byte_order = byte_order_;
+  msg.body = std::move(reply);
+  (void)stack_.send(now, dm.connection, dm.request_num, giop::encode(msg));
+}
+
+void Orb::handle_reply(const giop::Reply& reply, const ftmp::DeliveredMessage& dm,
+                       ByteOrder body_order) {
+  auto it = handlers_.find({dm.connection, dm.request_num});
+  if (it == handlers_.end()) return;  // server replicas see replies too (§4)
+  auto handler = std::move(it->second);
+  handlers_.erase(it);
+  deadlines_.erase({dm.connection, dm.request_num});
+  stats_.replies_completed += 1;
+  handler(reply, body_order);
+}
+
+}  // namespace ftcorba::orb

@@ -1,0 +1,140 @@
+// orb.hpp — the mini-ORB (DESIGN.md S11): maps GIOP invocations onto FTMP
+// logical connections, exactly the concrete GIOP->FTMP mapping the paper
+// contributes.
+//
+// Server side: servants are activated under object keys; every delivered
+// GIOP Request (after duplicate suppression) is dispatched in total order
+// and the marshaled Reply is multicast back on the same connection with
+// the same request number.
+//
+// Client side: invoke() marshals a Request, assigns the next request
+// number on the connection (all client replicas issue the same
+// deterministic sequence, so they use the same numbers, §4), multicasts it
+// and registers a completion handler keyed by request number; the first
+// delivered Reply copy completes it, later copies are suppressed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ft/dedup.hpp"
+#include "ft/message_log.hpp"
+#include "ftmp/events.hpp"
+#include "ftmp/stack.hpp"
+#include "giop/cdr.hpp"
+#include "giop/messages.hpp"
+#include "orb/object.hpp"
+#include "orb/servant.hpp"
+
+namespace ftcorba::orb {
+
+/// Counters for tests and the E6 bench.
+struct OrbStats {
+  std::uint64_t requests_dispatched = 0;   ///< servant invocations executed
+  std::uint64_t replies_completed = 0;     ///< client invocations completed
+  std::uint64_t duplicates_suppressed = 0; ///< replica copies discarded
+  std::uint64_t undecodable_payloads = 0;  ///< non-GIOP Regular bodies dropped
+  std::uint64_t unknown_objects = 0;       ///< Requests for unregistered keys
+};
+
+/// The per-processor ORB, layered over one FTMP stack.
+class Orb {
+ public:
+  /// `byte_order` is used for this ORB's outgoing GIOP messages.
+  explicit Orb(ftmp::Stack& stack, ByteOrder byte_order = ByteOrder::kBig);
+
+  // ---- server side ----
+
+  /// Activates `servant` under `key`: delivered Requests whose object key
+  /// matches are dispatched to it.
+  void activate(const ObjectKey& key, std::shared_ptr<Servant> servant);
+
+  /// Removes the servant under `key`.
+  void deactivate(const ObjectKey& key);
+
+  // ---- client side ----
+
+  /// Called with the decoded Reply when the invocation completes; the
+  /// second argument is the byte order the reply body was marshaled in.
+  using ReplyHandler = std::function<void(const giop::Reply&, ByteOrder)>;
+
+  /// Invokes `operation` on the object behind `connection`/`key` with the
+  /// marshaled arguments in `args`. Returns the request number, or nullopt
+  /// if the connection was not ready. With `response_expected` false the
+  /// call is oneway (no handler is retained).
+  std::optional<RequestNum> invoke(TimePoint now, const ConnectionId& connection,
+                                   const ObjectKey& key, const std::string& operation,
+                                   const giop::CdrWriter& args, ReplyHandler handler,
+                                   bool response_expected = true);
+
+  /// Sends a LocateRequest for `key` on the connection; the handler
+  /// receives the LocateReply status.
+  std::optional<RequestNum> locate(TimePoint now, const ConnectionId& connection,
+                                   const ObjectKey& key,
+                                   std::function<void(giop::LocateStatus)> handler);
+
+  /// Sends a GIOP CancelRequest for a pending invocation and drops its
+  /// handler locally. The reply may still arrive and is then discarded.
+  bool cancel(TimePoint now, const ConnectionId& connection, RequestNum request_num);
+
+  /// Arms a deadline for a pending invocation: if no reply completes it by
+  /// `deadline`, the next expire() call drops the handler and runs
+  /// `on_timeout` instead.
+  void set_deadline(const ConnectionId& connection, RequestNum request_num,
+                    TimePoint deadline, std::function<void()> on_timeout);
+
+  /// Fires every armed deadline at or before `now`; returns how many
+  /// invocations timed out. Call periodically (e.g. from the driver loop).
+  std::size_t expire(TimePoint now);
+
+  /// Number of invocations still awaiting a reply.
+  [[nodiscard]] std::size_t pending_invocations() const { return handlers_.size(); }
+
+  // ---- event pump ----
+
+  /// Feeds one FTMP event (wire this to the stack driver). Only
+  /// DeliveredMessage events are consumed; everything else is ignored here.
+  void on_event(TimePoint now, const ftmp::Event& event);
+
+  /// The duplicate suppressor (exposed for tests and the E6 bench).
+  [[nodiscard]] const ft::DuplicateSuppressor& dedup() const { return dedup_; }
+
+  /// Attaches a message log (§4): every accepted Request/Reply delivery is
+  /// recorded with its ⟨connection id, request number⟩ so state can be
+  /// rebuilt by replay (ft::replay_requests). Pass nullptr to detach.
+  void attach_log(ft::MessageLog* log) { log_ = log; }
+
+  [[nodiscard]] const OrbStats& stats() const { return stats_; }
+
+  /// The underlying stack.
+  [[nodiscard]] ftmp::Stack& stack() { return stack_; }
+
+ private:
+  void handle_request(TimePoint now, const ftmp::DeliveredMessage& dm,
+                      const giop::Request& request, ByteOrder arg_order);
+  void handle_reply(const giop::Reply& reply, const ftmp::DeliveredMessage& dm,
+                    ByteOrder body_order);
+  void handle_locate_request(TimePoint now, const ftmp::DeliveredMessage& dm,
+                             const giop::LocateRequest& request);
+
+  [[nodiscard]] RequestNum next_request_num(const ConnectionId& connection);
+
+  ftmp::Stack& stack_;
+  ByteOrder byte_order_;
+  std::unordered_map<ObjectKey, std::shared_ptr<Servant>> servants_;
+  std::map<ConnectionId, RequestNum> request_counters_;
+  std::map<std::pair<ConnectionId, RequestNum>, ReplyHandler> handlers_;
+  std::map<std::pair<ConnectionId, RequestNum>, std::function<void(giop::LocateStatus)>>
+      locate_handlers_;
+  std::map<std::pair<ConnectionId, RequestNum>, std::pair<TimePoint, std::function<void()>>>
+      deadlines_;
+  ft::DuplicateSuppressor dedup_;
+  ft::MessageLog* log_ = nullptr;
+  OrbStats stats_;
+};
+
+}  // namespace ftcorba::orb

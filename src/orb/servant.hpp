@@ -1,0 +1,30 @@
+// servant.hpp — the server-side dispatch interface of the mini-ORB.
+#pragma once
+
+#include <string>
+
+#include "giop/cdr.hpp"
+#include "giop/messages.hpp"
+
+namespace ftcorba::orb {
+
+/// A CORBA servant: implements the operations of one object (or of every
+/// replica of one object group — with active replication the same servant
+/// code runs on every member and must be deterministic).
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  /// Executes `operation`. Unmarshals in/inout arguments from `in` and
+  /// marshals results into `out`. Returns the reply status; for
+  /// kUserException / kSystemException the exception data goes in `out`.
+  virtual giop::ReplyStatus invoke(const std::string& operation,
+                                   giop::CdrReader& in, giop::CdrWriter& out) = 0;
+
+  /// When true the ORB dispatches invocations but never sends replies.
+  /// Used by recovering replicas that observe the ordered request stream
+  /// without yet knowing the results (ft::BufferingServant).
+  [[nodiscard]] virtual bool suppress_reply() const { return false; }
+};
+
+}  // namespace ftcorba::orb

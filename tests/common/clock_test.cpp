@@ -1,0 +1,69 @@
+// Unit tests for Lamport clocks and the synchronized timestamp source.
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+
+namespace ftcorba {
+namespace {
+
+TEST(LamportClock, StrictlyIncreasing) {
+  LamportClock c;
+  Timestamp prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp t = c.tick();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LamportClock, WitnessAdvancesPastReceived) {
+  LamportClock c;
+  (void)c.tick();
+  c.witness(1000);
+  EXPECT_GT(c.tick(), 1000u);
+}
+
+TEST(LamportClock, WitnessOfOlderTimestampIsNoop) {
+  LamportClock c;
+  c.witness(50);
+  c.witness(10);
+  EXPECT_EQ(c.latest(), 50u);
+}
+
+TEST(TimestampSource, LamportModeIgnoresPhysicalTime) {
+  TimestampSource s(TimestampSource::Mode::kLamport);
+  const Timestamp t1 = s.tick(1'000'000'000);
+  const Timestamp t2 = s.tick(0);
+  EXPECT_EQ(t1, 1u);
+  EXPECT_EQ(t2, 2u);
+}
+
+TEST(TimestampSource, SynchronizedModeTracksPhysicalTime) {
+  TimestampSource s(TimestampSource::Mode::kSynchronized);
+  const Timestamp t1 = s.tick(1000);
+  EXPECT_GE(t1, 1000u);
+  // Time went backwards (skew): Lamport property still holds.
+  const Timestamp t2 = s.tick(500);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(TimestampSource, SynchronizedModeAppliesSkew) {
+  TimestampSource ahead(TimestampSource::Mode::kSynchronized, 100);
+  TimestampSource behind(TimestampSource::Mode::kSynchronized, -100);
+  EXPECT_GT(ahead.tick(1000), behind.tick(1000));
+}
+
+TEST(TimestampSource, WitnessKeepsLamportProperty) {
+  TimestampSource s(TimestampSource::Mode::kSynchronized);
+  s.witness(1'000'000);
+  EXPECT_GT(s.tick(10), 1'000'000u);
+}
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_DOUBLE_EQ(to_ms(5 * kMillisecond), 5.0);
+  EXPECT_DOUBLE_EQ(to_us(3 * kMicrosecond), 3.0);
+  EXPECT_EQ(kSecond, 1'000'000'000);
+}
+
+}  // namespace
+}  // namespace ftcorba

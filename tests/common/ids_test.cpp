@@ -1,0 +1,54 @@
+// Unit tests for strongly-typed identifiers.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/ids.hpp"
+
+namespace ftcorba {
+namespace {
+
+TEST(Ids, StrongTypingComparisons) {
+  ProcessorId a{1}, b{2}, c{1};
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.raw(), 1u);
+}
+
+TEST(Ids, HashableInUnorderedContainers) {
+  std::unordered_set<ProcessorId> set;
+  set.insert(ProcessorId{1});
+  set.insert(ProcessorId{2});
+  set.insert(ProcessorId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(ProcessorId{2}));
+}
+
+TEST(Ids, ConnectionIdOrderingAndEquality) {
+  ConnectionId a{FtDomainId{1}, ObjectGroupId{2}, FtDomainId{3}, ObjectGroupId{4}};
+  ConnectionId b = a;
+  EXPECT_EQ(a, b);
+  b.server_group = ObjectGroupId{5};
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(Ids, ConnectionIdHashDistinguishesSides) {
+  // Swapping client and server must hash/compare differently.
+  ConnectionId ab{FtDomainId{1}, ObjectGroupId{10}, FtDomainId{2}, ObjectGroupId{20}};
+  ConnectionId ba{FtDomainId{2}, ObjectGroupId{20}, FtDomainId{1}, ObjectGroupId{10}};
+  EXPECT_NE(ab, ba);
+  std::hash<ConnectionId> h;
+  EXPECT_NE(h(ab), h(ba));
+}
+
+TEST(Ids, ToStringFormats) {
+  EXPECT_EQ(to_string(ProcessorId{3}), "P3");
+  EXPECT_EQ(to_string(ProcessorGroupId{7}), "G7");
+  ConnectionId c{FtDomainId{1}, ObjectGroupId{2}, FtDomainId{3}, ObjectGroupId{4}};
+  EXPECT_EQ(to_string(c), "conn(1:2->3:4)");
+}
+
+}  // namespace
+}  // namespace ftcorba

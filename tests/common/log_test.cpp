@@ -1,0 +1,65 @@
+// Unit tests for the leveled logger.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace ftcorba {
+namespace {
+
+struct LogCapture {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  LogLevel saved_level;
+
+  LogCapture() : saved_level(Log::level()) {
+    Log::set_sink([this](LogLevel lvl, const std::string& msg) {
+      lines.emplace_back(lvl, msg);
+    });
+  }
+  ~LogCapture() {
+    Log::set_sink(nullptr);
+    Log::set_level(saved_level);
+  }
+};
+
+TEST(Log, LevelFiltering) {
+  LogCapture capture;
+  Log::set_level(LogLevel::kWarn);
+  FTC_LOG(kDebug) << "hidden";
+  FTC_LOG(kWarn) << "shown";
+  FTC_LOG(kError) << "also shown";
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.lines[0].second, "shown");
+  EXPECT_EQ(capture.lines[1].first, LogLevel::kError);
+}
+
+TEST(Log, StreamingComposesMessage) {
+  LogCapture capture;
+  Log::set_level(LogLevel::kTrace);
+  FTC_LOG(kInfo) << "value=" << 42 << " name=" << "x";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0].second, "value=42 name=x");
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogCapture capture;
+  Log::set_level(LogLevel::kOff);
+  FTC_LOG(kError) << "nope";
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST(Log, FilteredExpressionNotEvaluated) {
+  LogCapture capture;
+  Log::set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("expensive");
+  };
+  FTC_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0) << "suppressed levels must not evaluate operands";
+  FTC_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace ftcorba

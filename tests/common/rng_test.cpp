@@ -1,0 +1,92 @@
+// Unit tests for the deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ftcorba {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  Rng root(7);
+  Rng s1 = root.split(1);
+  Rng s2 = root.split(2);
+  Rng s1_again = root.split(1);
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(12);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.25)) ++hits;
+  }
+  const double rate = double(hits) / n;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(77);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace ftcorba

@@ -1,0 +1,62 @@
+// Unit tests for the Samples summary statistics.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace ftcorba {
+namespace {
+
+TEST(Stats, EmptyIsZero) {
+  Samples s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.median(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Stats, MeanAndExtremes) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, MedianInterpolates) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.02);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  Samples s;
+  for (int i = 0; i < 10; ++i) s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  Samples s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Stats, ClearResets) {
+  Samples s;
+  s.add(1);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+}  // namespace
+}  // namespace ftcorba

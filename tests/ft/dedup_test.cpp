@@ -1,0 +1,66 @@
+// Unit tests for duplicate detection/suppression (§4).
+#include <gtest/gtest.h>
+
+#include "ft/dedup.hpp"
+
+namespace ftcorba::ft {
+namespace {
+
+ConnectionId conn(std::uint32_t tag = 1) {
+  return ConnectionId{FtDomainId{tag}, ObjectGroupId{1}, FtDomainId{2}, ObjectGroupId{2}};
+}
+
+TEST(Dedup, FirstCopyAcceptedRestSuppressed) {
+  DuplicateSuppressor d;
+  EXPECT_TRUE(d.accept(conn(), 1, MessageKind::kRequest));
+  EXPECT_FALSE(d.accept(conn(), 1, MessageKind::kRequest));
+  EXPECT_FALSE(d.accept(conn(), 1, MessageKind::kRequest));
+  EXPECT_EQ(d.stats().accepted, 1u);
+  EXPECT_EQ(d.stats().suppressed, 2u);
+}
+
+TEST(Dedup, RequestAndReplyAreDistinct) {
+  DuplicateSuppressor d;
+  EXPECT_TRUE(d.accept(conn(), 1, MessageKind::kRequest));
+  EXPECT_TRUE(d.accept(conn(), 1, MessageKind::kReply));
+  EXPECT_FALSE(d.accept(conn(), 1, MessageKind::kReply));
+}
+
+TEST(Dedup, ConnectionsAreIndependent) {
+  DuplicateSuppressor d;
+  EXPECT_TRUE(d.accept(conn(1), 1, MessageKind::kRequest));
+  EXPECT_TRUE(d.accept(conn(2), 1, MessageKind::kRequest));
+}
+
+TEST(Dedup, SeenDoesNotRecord) {
+  DuplicateSuppressor d;
+  EXPECT_FALSE(d.seen(conn(), 1, MessageKind::kRequest));
+  EXPECT_TRUE(d.accept(conn(), 1, MessageKind::kRequest));
+  EXPECT_TRUE(d.seen(conn(), 1, MessageKind::kRequest));
+  EXPECT_FALSE(d.seen(conn(), 2, MessageKind::kRequest));
+}
+
+TEST(Dedup, TrimReclaimsAndStillSuppresses) {
+  DuplicateSuppressor d;
+  for (RequestNum n = 1; n <= 100; ++n) {
+    EXPECT_TRUE(d.accept(conn(), n, MessageKind::kRequest));
+  }
+  EXPECT_EQ(d.size(), 100u);
+  d.trim(conn(), 90);
+  EXPECT_LE(d.size(), 11u);
+  // A late replica copy of a trimmed request must still be suppressed.
+  EXPECT_FALSE(d.accept(conn(), 50, MessageKind::kRequest));
+  // Post-watermark numbers behave normally.
+  EXPECT_TRUE(d.accept(conn(), 101, MessageKind::kRequest));
+}
+
+TEST(Dedup, LargeRequestNumbers) {
+  DuplicateSuppressor d;
+  const RequestNum big = ~RequestNum{0} >> 2;
+  EXPECT_TRUE(d.accept(conn(), big, MessageKind::kRequest));
+  EXPECT_FALSE(d.accept(conn(), big, MessageKind::kRequest));
+  EXPECT_TRUE(d.accept(conn(), big, MessageKind::kReply));
+}
+
+}  // namespace
+}  // namespace ftcorba::ft

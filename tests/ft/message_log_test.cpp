@@ -1,0 +1,73 @@
+// Unit tests for the replay log (§4: "replaying messages from a log").
+#include <gtest/gtest.h>
+
+#include "ft/message_log.hpp"
+
+namespace ftcorba::ft {
+namespace {
+
+ConnectionId conn() {
+  return ConnectionId{FtDomainId{1}, ObjectGroupId{1}, FtDomainId{2}, ObjectGroupId{2}};
+}
+
+LogEntry entry(MessageKind kind, RequestNum num, std::string_view payload) {
+  LogEntry e;
+  e.kind = kind;
+  e.connection = conn();
+  e.request_num = num;
+  e.timestamp = num * 10;
+  e.giop_message = bytes_of(payload);
+  return e;
+}
+
+TEST(MessageLog, ReplayReturnsInDeliveryOrder) {
+  MessageLog log;
+  log.record(entry(MessageKind::kRequest, 1, "req1"));
+  log.record(entry(MessageKind::kReply, 1, "rep1"));
+  log.record(entry(MessageKind::kRequest, 2, "req2"));
+  const auto replay = log.replay_since(conn(), 0);
+  ASSERT_EQ(replay.size(), 3u);
+  EXPECT_EQ(replay[0].giop_message, bytes_of("req1"));
+  EXPECT_EQ(replay[1].giop_message, bytes_of("rep1"));
+  EXPECT_EQ(replay[2].giop_message, bytes_of("req2"));
+}
+
+TEST(MessageLog, ReplaySinceFiltersWatermark) {
+  MessageLog log;
+  for (RequestNum n = 1; n <= 5; ++n) {
+    log.record(entry(MessageKind::kRequest, n, "r"));
+  }
+  EXPECT_EQ(log.replay_since(conn(), 3).size(), 2u);
+  EXPECT_TRUE(log.replay_since(conn(), 5).empty());
+}
+
+TEST(MessageLog, FindReplyMatchesRequestNumber) {
+  MessageLog log;
+  log.record(entry(MessageKind::kRequest, 7, "req"));
+  log.record(entry(MessageKind::kReply, 7, "the-answer"));
+  const LogEntry* reply = log.find_reply(conn(), 7);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->giop_message, bytes_of("the-answer"));
+  EXPECT_EQ(log.find_reply(conn(), 8), nullptr);
+}
+
+TEST(MessageLog, UnknownConnectionIsEmpty) {
+  MessageLog log;
+  EXPECT_TRUE(log.replay_since(conn(), 0).empty());
+  EXPECT_EQ(log.find_reply(conn(), 1), nullptr);
+}
+
+TEST(MessageLog, TrimReclaimsBytes) {
+  MessageLog log;
+  for (RequestNum n = 1; n <= 10; ++n) {
+    log.record(entry(MessageKind::kRequest, n, "0123456789"));
+  }
+  const std::size_t before = log.bytes();
+  log.trim(conn(), 8);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_LT(log.bytes(), before);
+  EXPECT_EQ(log.replay_since(conn(), 0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ftcorba::ft

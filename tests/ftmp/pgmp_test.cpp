@@ -1,0 +1,337 @@
+// Unit tests for the PGMP layer (§7) driven directly (no network): the
+// conviction fixpoint, the quorum rule, suspicion withdrawal, proposal
+// generation, round floors and planned-change gating.
+#include <gtest/gtest.h>
+
+#include "ftmp/pgmp.hpp"
+
+namespace ftcorba::ftmp {
+namespace {
+
+constexpr ProcessorId kSelf{1};
+
+Message control(MessageType type, ProcessorId src, SeqNum seq, Timestamp ts, Body body) {
+  Message m;
+  m.header.type = type;
+  m.header.source = src;
+  m.header.sequence_number = seq;
+  m.header.message_timestamp = ts;
+  m.body = std::move(body);
+  return m;
+}
+
+struct PgmpFixture : ::testing::Test {
+  Config config;
+  Rmp rmp{kSelf, config};
+  Romp romp{kSelf, config};
+  Pgmp pgmp{kSelf, config, rmp, romp};
+
+  std::vector<ProcessorId> members(std::initializer_list<std::uint32_t> raw) {
+    std::vector<ProcessorId> out;
+    for (auto r : raw) out.push_back(ProcessorId{r});
+    return out;
+  }
+
+  void boot(std::initializer_list<std::uint32_t> raw) {
+    pgmp.bootstrap(0, members(raw));
+    romp.set_members(members(raw));
+    (void)pgmp.take_output();
+  }
+
+  // Routes a control message through RMP first (as GroupSession does), so
+  // the PGMP completeness check sees a consistent contiguous stream.
+  void feed(const Message& msg) {
+    const Bytes raw = encode_message(msg);
+    for (Message& delivered : rmp.on_reliable(0, msg, raw)) {
+      if (delivered.header.type == MessageType::kSuspect) {
+        pgmp.on_suspect(0, delivered);
+      } else if (delivered.header.type == MessageType::kMembership) {
+        pgmp.on_membership_msg(0, delivered);
+      }
+    }
+  }
+
+  void suspect_from(ProcessorId src, SeqNum seq,
+                    std::initializer_list<std::uint32_t> suspects) {
+    SuspectBody body;
+    body.current_membership = pgmp.membership();
+    for (auto s : suspects) body.suspects.push_back(ProcessorId{s});
+    feed(control(MessageType::kSuspect, src, seq, seq * 10, body));
+  }
+
+  void membership_from(ProcessorId src, SeqNum seq,
+                       std::initializer_list<std::uint32_t> proposal) {
+    MembershipBody body;
+    body.current_membership = pgmp.membership();
+    for (ProcessorId m : pgmp.membership().members) {
+      body.current_seqs.push_back({m, rmp.contiguous(m)});
+    }
+    for (auto p : proposal) body.new_membership.push_back(ProcessorId{p});
+    feed(control(MessageType::kMembership, src, seq, seq * 10, body));
+  }
+
+  // Convenience: does the drained output contain a Membership proposal?
+  std::optional<MembershipBody> drain_proposal() {
+    for (PgmpOut& out : pgmp.take_output()) {
+      if (auto* send = std::get_if<SendBodyOut>(&out)) {
+        if (auto* mb = std::get_if<MembershipBody>(&send->body)) return *mb;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<InstallOut> drain_install() {
+    for (PgmpOut& out : pgmp.take_output()) {
+      if (auto* install = std::get_if<InstallOut>(&out)) return std::move(*install);
+    }
+    return std::nullopt;
+  }
+};
+
+TEST_F(PgmpFixture, BootstrapInstallsInitialMembership) {
+  pgmp.bootstrap(0, members({3, 1, 2, 2}));
+  EXPECT_EQ(pgmp.membership().members, members({1, 2, 3}));  // sorted, deduped
+  EXPECT_TRUE(pgmp.active());
+  EXPECT_FALSE(pgmp.reconfiguring());
+  bool initial_seen = false;
+  for (PgmpOut& out : pgmp.take_output()) {
+    if (auto* install = std::get_if<InstallOut>(&out)) {
+      EXPECT_EQ(install->change.reason, MembershipChanged::Reason::kInitial);
+      initial_seen = true;
+    }
+  }
+  EXPECT_TRUE(initial_seen);
+  EXPECT_TRUE(rmp.has_source(ProcessorId{2}));
+}
+
+TEST_F(PgmpFixture, SingleSuspectDoesNotConvict) {
+  boot({1, 2, 3, 4});
+  suspect_from(ProcessorId{2}, 1, {4});
+  EXPECT_FALSE(pgmp.reconfiguring());
+  EXPECT_FALSE(drain_proposal().has_value());
+}
+
+TEST_F(PgmpFixture, UnanimousSuspicionConvicts) {
+  boot({1, 2, 3, 4});
+  suspect_from(ProcessorId{1}, 1, {4});  // self included via loopback normally
+  suspect_from(ProcessorId{2}, 1, {4});
+  EXPECT_FALSE(pgmp.reconfiguring()) << "P3 has not voted yet";
+  suspect_from(ProcessorId{3}, 1, {4});
+  EXPECT_TRUE(pgmp.reconfiguring());
+  auto proposal = drain_proposal();
+  ASSERT_TRUE(proposal.has_value());
+  EXPECT_EQ(proposal->new_membership, members({1, 2, 3}));
+}
+
+TEST_F(PgmpFixture, SimultaneousDoubleCrashConvictsBoth) {
+  boot({1, 2, 3, 4, 5});
+  // 3 survivors all suspect both dead members; the dead never vote.
+  suspect_from(ProcessorId{1}, 1, {4, 5});
+  suspect_from(ProcessorId{2}, 1, {4, 5});
+  suspect_from(ProcessorId{3}, 1, {4, 5});
+  EXPECT_TRUE(pgmp.reconfiguring());
+  auto proposal = drain_proposal();
+  ASSERT_TRUE(proposal.has_value());
+  EXPECT_EQ(proposal->new_membership, members({1, 2, 3}));
+}
+
+TEST_F(PgmpFixture, MutualSuspicionBetweenTwoSidesNeedsQuorumToInstall) {
+  boot({1, 2, 3});
+  // 1 and 2 suspect 3; 3's row never contradicts (it is silent).
+  suspect_from(ProcessorId{1}, 1, {3});
+  suspect_from(ProcessorId{2}, 1, {3});
+  EXPECT_TRUE(pgmp.reconfiguring());
+  // Completion requires matching Membership messages from every survivor.
+  membership_from(ProcessorId{1}, 2, {1, 2});
+  membership_from(ProcessorId{2}, 2, {1, 2});
+  auto install = drain_install();
+  ASSERT_TRUE(install.has_value());
+  EXPECT_EQ(install->change.membership.members, members({1, 2}));
+  EXPECT_EQ(install->faults.size(), 1u);
+  EXPECT_EQ(install->faults[0].convicted, ProcessorId{3});
+  EXPECT_FALSE(pgmp.reconfiguring());
+}
+
+TEST_F(PgmpFixture, MinorityProposalNeverCompletes) {
+  boot({1, 2, 3, 4, 5});
+  // Only 1 and 2 are reachable; they'd propose {1,2} — below quorum.
+  suspect_from(ProcessorId{1}, 1, {3, 4, 5});
+  suspect_from(ProcessorId{2}, 1, {3, 4, 5});
+  EXPECT_TRUE(pgmp.reconfiguring());
+  membership_from(ProcessorId{1}, 2, {1, 2});
+  membership_from(ProcessorId{2}, 2, {1, 2});
+  EXPECT_FALSE(drain_install().has_value()) << "2 of 5 must stall";
+  EXPECT_EQ(pgmp.membership().members.size(), 5u);
+}
+
+TEST_F(PgmpFixture, ExactHalfNeedsSmallestId) {
+  boot({1, 2, 3, 4});
+  // {1,2} is exactly half and contains the smallest id: allowed.
+  suspect_from(ProcessorId{1}, 1, {3, 4});
+  suspect_from(ProcessorId{2}, 1, {3, 4});
+  membership_from(ProcessorId{1}, 2, {1, 2});
+  membership_from(ProcessorId{2}, 2, {1, 2});
+  EXPECT_TRUE(drain_install().has_value());
+}
+
+TEST_F(PgmpFixture, ExactHalfWithoutSmallestIdStalls) {
+  Rmp rmp3{ProcessorId{3}, config};
+  Romp romp3{ProcessorId{3}, config};
+  Pgmp pgmp3{ProcessorId{3}, config, rmp3, romp3};
+  pgmp3.bootstrap(0, members({1, 2, 3, 4}));
+  (void)pgmp3.take_output();
+
+  auto feed3 = [&](const Message& msg) {
+    const Bytes raw = encode_message(msg);
+    for (Message& delivered : rmp3.on_reliable(0, msg, raw)) {
+      if (delivered.header.type == MessageType::kSuspect) {
+        pgmp3.on_suspect(0, delivered);
+      } else {
+        pgmp3.on_membership_msg(0, delivered);
+      }
+    }
+  };
+  auto suspect3 = [&](ProcessorId src, SeqNum seq,
+                      std::initializer_list<std::uint32_t> suspects) {
+    SuspectBody body;
+    body.current_membership = pgmp3.membership();
+    for (auto s : suspects) body.suspects.push_back(ProcessorId{s});
+    feed3(control(MessageType::kSuspect, src, seq, seq * 10, body));
+  };
+  auto membership3 = [&](ProcessorId src, SeqNum seq,
+                         std::initializer_list<std::uint32_t> proposal) {
+    MembershipBody body;
+    body.current_membership = pgmp3.membership();
+    for (ProcessorId m : pgmp3.membership().members) {
+      body.current_seqs.push_back({m, rmp3.contiguous(m)});
+    }
+    for (auto p : proposal) body.new_membership.push_back(ProcessorId{p});
+    feed3(control(MessageType::kMembership, src, seq, seq * 10, body));
+  };
+  suspect3(ProcessorId{3}, 1, {1, 2});
+  suspect3(ProcessorId{4}, 1, {1, 2});
+  membership3(ProcessorId{3}, 2, {3, 4});
+  membership3(ProcessorId{4}, 2, {3, 4});
+  bool installed = false;
+  for (PgmpOut& out : pgmp3.take_output()) {
+    if (std::holds_alternative<InstallOut>(out)) installed = true;
+  }
+  EXPECT_FALSE(installed) << "{3,4} is half of {1,2,3,4} but lacks the smallest id";
+}
+
+TEST_F(PgmpFixture, SuspicionWithdrawnWhenProcessorSpeaks) {
+  boot({1, 2, 3});
+  // Fault detector: P3 times out at us.
+  pgmp.tick(config.fault_timeout + 2);
+  bool suspect_sent = false;
+  for (PgmpOut& out : pgmp.take_output()) {
+    if (auto* send = std::get_if<SendBodyOut>(&out)) {
+      if (auto* sb = std::get_if<SuspectBody>(&send->body)) {
+        suspect_sent = true;
+        EXPECT_EQ(sb->suspects, members({2, 3}));  // both timed out
+      }
+    }
+  }
+  EXPECT_TRUE(suspect_sent);
+  // P3 speaks again before conviction: withdrawal is announced.
+  pgmp.note_heard(ProcessorId{3}, config.fault_timeout + 3);
+  bool withdrawal = false;
+  for (PgmpOut& out : pgmp.take_output()) {
+    if (auto* send = std::get_if<SendBodyOut>(&out)) {
+      if (auto* sb = std::get_if<SuspectBody>(&send->body)) {
+        withdrawal = true;
+        EXPECT_EQ(sb->suspects, members({2}));  // only P2 still suspected
+      }
+    }
+  }
+  EXPECT_TRUE(withdrawal);
+}
+
+TEST_F(PgmpFixture, RoundFloorIgnoresStaleControlMessages) {
+  boot({1, 2, 3});
+  suspect_from(ProcessorId{1}, 1, {3});
+  suspect_from(ProcessorId{2}, 1, {3});
+  membership_from(ProcessorId{1}, 2, {1, 2});
+  membership_from(ProcessorId{2}, 2, {1, 2});
+  ASSERT_TRUE(drain_install().has_value());
+  // A delayed replay of the old round's Suspect (fed straight to PGMP,
+  // bypassing RMP's duplicate filter) must not restart the round: its
+  // sequence number is at or below the round floor.
+  SuspectBody stale;
+  stale.current_membership = pgmp.membership();
+  stale.suspects = {ProcessorId{3}};
+  pgmp.on_suspect(0, control(MessageType::kSuspect, ProcessorId{2}, 1, 10, stale));
+  EXPECT_FALSE(pgmp.reconfiguring());
+  EXPECT_FALSE(drain_proposal().has_value());
+}
+
+TEST_F(PgmpFixture, MakeAddRejectsDuplicatesAndRecovery) {
+  boot({1, 2, 3});
+  EXPECT_FALSE(pgmp.make_add(ProcessorId{2}).has_value()) << "already a member";
+  auto body = pgmp.make_add(ProcessorId{9});
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->new_member, ProcessorId{9});
+  EXPECT_EQ(body->current_membership.members, members({1, 2, 3}));
+  pgmp.note_add_sent(ProcessorId{9}, 0, *body);
+  EXPECT_FALSE(pgmp.make_add(ProcessorId{9}).has_value()) << "add in flight";
+  // During a recovery round, planned changes are refused (§7.1).
+  suspect_from(ProcessorId{1}, 1, {3});
+  suspect_from(ProcessorId{2}, 1, {3});
+  ASSERT_TRUE(pgmp.reconfiguring());
+  EXPECT_FALSE(pgmp.make_add(ProcessorId{10}).has_value());
+  EXPECT_FALSE(pgmp.make_remove(ProcessorId{2}).has_value());
+}
+
+TEST_F(PgmpFixture, RemoveSelfEvicts) {
+  boot({1, 2, 3});
+  RemoveProcessorBody body{kSelf};
+  pgmp.on_remove_ordered(
+      0, control(MessageType::kRemoveProcessor, ProcessorId{2}, 1, 10, body));
+  EXPECT_FALSE(pgmp.active());
+  auto install = drain_install();
+  ASSERT_TRUE(install.has_value());
+  EXPECT_TRUE(install->self_evicted);
+}
+
+TEST_F(PgmpFixture, AddOrderedUpdatesEverything) {
+  boot({1, 2, 3});
+  AddProcessorBody body;
+  body.current_membership = pgmp.membership();
+  body.current_seqs = {{ProcessorId{1}, 0}, {ProcessorId{2}, 0}, {ProcessorId{3}, 0}};
+  body.new_member = ProcessorId{4};
+  pgmp.on_add_ordered(
+      0, control(MessageType::kAddProcessor, ProcessorId{2}, 7, 70, body));
+  EXPECT_EQ(pgmp.membership().members, members({1, 2, 3, 4}));
+  EXPECT_EQ(pgmp.membership().timestamp, 70u);
+  EXPECT_TRUE(rmp.has_source(ProcessorId{4}));
+  EXPECT_EQ(romp.bound(ProcessorId{4}), 70u);
+}
+
+TEST_F(PgmpFixture, SponsorResendsUntilNewMemberSpeaks) {
+  boot({1, 2, 3});
+  AddProcessorBody body;
+  body.current_membership = pgmp.membership();
+  body.new_member = ProcessorId{4};
+  // We (P1) are the sponsor.
+  pgmp.on_add_ordered(100, control(MessageType::kAddProcessor, kSelf, 7, 70, body));
+  (void)pgmp.take_output();
+  pgmp.tick(100 + config.join_retry_interval + 1);
+  bool resend = false;
+  for (PgmpOut& out : pgmp.take_output()) {
+    if (auto* r = std::get_if<ResendStoredOut>(&out)) {
+      resend = true;
+      EXPECT_EQ(r->source, kSelf);
+      EXPECT_EQ(r->seq, 7u);
+    }
+  }
+  EXPECT_TRUE(resend);
+  // New member speaks: resends stop.
+  pgmp.note_heard(ProcessorId{4}, 200);
+  pgmp.tick(200 + 10 * config.join_retry_interval);
+  for (PgmpOut& out : pgmp.take_output()) {
+    EXPECT_FALSE(std::holds_alternative<ResendStoredOut>(out));
+  }
+}
+
+}  // namespace
+}  // namespace ftcorba::ftmp

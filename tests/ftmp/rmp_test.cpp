@@ -1,0 +1,208 @@
+// Unit tests for the RMP layer (§5): sequencing, gap detection, NACKs,
+// retransmission policy, and buffer accounting.
+#include <gtest/gtest.h>
+
+#include "ftmp/rmp.hpp"
+
+namespace ftcorba::ftmp {
+namespace {
+
+constexpr ProcessorId kSelf{1};
+constexpr ProcessorId kPeer{2};
+
+Message regular(ProcessorId src, SeqNum seq, Timestamp ts = 0) {
+  Message m;
+  m.header.type = MessageType::kRegular;
+  m.header.source = src;
+  m.header.destination_group = ProcessorGroupId{1};
+  m.header.sequence_number = seq;
+  m.header.message_timestamp = ts ? ts : seq * 10;
+  m.body = RegularBody{{}, seq, bytes_of("m" + std::to_string(seq))};
+  return m;
+}
+
+Bytes raw_of(const Message& m) { return encode_message(m); }
+
+struct RmpFixture : ::testing::Test {
+  Config config;
+  Rmp rmp{kSelf, config};
+
+  void SetUp() override {
+    rmp.add_source(kSelf, 0);
+    rmp.add_source(kPeer, 0);
+  }
+
+  std::vector<Message> feed(const Message& m, TimePoint now = 0) {
+    return rmp.on_reliable(now, m, raw_of(m));
+  }
+};
+
+TEST_F(RmpFixture, InOrderDeliveryImmediate) {
+  EXPECT_EQ(feed(regular(kPeer, 1)).size(), 1u);
+  EXPECT_EQ(feed(regular(kPeer, 2)).size(), 1u);
+  EXPECT_EQ(rmp.contiguous(kPeer), 2u);
+  EXPECT_TRUE(rmp.complete(kPeer));
+}
+
+TEST_F(RmpFixture, GapBuffersAndDrains) {
+  EXPECT_EQ(feed(regular(kPeer, 1)).size(), 1u);
+  EXPECT_TRUE(feed(regular(kPeer, 3)).empty());  // gap at 2
+  EXPECT_EQ(rmp.out_of_order_count(), 1u);
+  EXPECT_FALSE(rmp.complete(kPeer));
+  const auto drained = feed(regular(kPeer, 2));
+  ASSERT_EQ(drained.size(), 2u);  // 2 then 3, in source order
+  EXPECT_EQ(drained[0].header.sequence_number, 2u);
+  EXPECT_EQ(drained[1].header.sequence_number, 3u);
+  EXPECT_EQ(rmp.out_of_order_count(), 0u);
+}
+
+TEST_F(RmpFixture, GapTriggersNack) {
+  (void)feed(regular(kPeer, 1));
+  (void)feed(regular(kPeer, 4), 1 * kMillisecond);
+  const auto out = rmp.take_output();
+  ASSERT_EQ(out.size(), 1u);
+  const auto* nack = std::get_if<NackOut>(&out[0]);
+  ASSERT_NE(nack, nullptr);
+  EXPECT_EQ(nack->missing_from, kPeer);
+  EXPECT_EQ(nack->start, 2u);
+  EXPECT_EQ(nack->stop, 3u);
+  EXPECT_EQ(rmp.stats().nacks_sent, 1u);
+}
+
+TEST_F(RmpFixture, NackRateLimited) {
+  (void)feed(regular(kPeer, 1));
+  (void)feed(regular(kPeer, 4), 1 * kMillisecond);
+  (void)rmp.take_output();
+  rmp.on_tick(2 * kMillisecond);  // within nack_interval (5ms)
+  EXPECT_TRUE(rmp.take_output().empty());
+  rmp.on_tick(10 * kMillisecond);
+  EXPECT_EQ(rmp.take_output().size(), 1u);
+}
+
+TEST_F(RmpFixture, HeartbeatRevealsGap) {
+  Header hb;
+  hb.type = MessageType::kHeartbeat;
+  hb.source = kPeer;
+  hb.sequence_number = 5;  // peer has sent 5 messages; we saw none
+  rmp.on_heartbeat(1 * kMillisecond, hb);
+  const auto out = rmp.take_output();
+  ASSERT_EQ(out.size(), 1u);
+  const auto* nack = std::get_if<NackOut>(&out[0]);
+  ASSERT_NE(nack, nullptr);
+  EXPECT_EQ(nack->start, 1u);
+  EXPECT_EQ(nack->stop, 5u);
+}
+
+TEST_F(RmpFixture, DuplicatesIgnored) {
+  (void)feed(regular(kPeer, 1));
+  EXPECT_TRUE(feed(regular(kPeer, 1)).empty());
+  EXPECT_EQ(rmp.stats().duplicates_ignored, 1u);
+  // Duplicate of a buffered out-of-order message too.
+  (void)feed(regular(kPeer, 3));
+  EXPECT_TRUE(feed(regular(kPeer, 3)).empty());
+  EXPECT_EQ(rmp.stats().duplicates_ignored, 2u);
+}
+
+TEST_F(RmpFixture, UnknownSourceDropped) {
+  EXPECT_TRUE(feed(regular(ProcessorId{99}, 1)).empty());
+  EXPECT_EQ(rmp.stats().dropped_unknown_source, 1u);
+}
+
+TEST_F(RmpFixture, RetransmitServesStoredMessages) {
+  (void)feed(regular(kPeer, 1));
+  (void)feed(regular(kPeer, 2));
+  rmp.on_retransmit_request(10 * kMillisecond, RetransmitRequestBody{kPeer, 1, 2});
+  const auto out = rmp.take_output();
+  ASSERT_EQ(out.size(), 2u);
+  for (const RmpOut& o : out) {
+    const auto* rt = std::get_if<RetransmitOut>(&o);
+    ASSERT_NE(rt, nullptr);
+    const Message m = decode_message(rt->raw);
+    EXPECT_TRUE(m.header.retransmission) << "retransmission flag must be set";
+    EXPECT_EQ(m.header.source, kPeer);
+  }
+  EXPECT_EQ(rmp.stats().retransmissions_sent, 2u);
+}
+
+TEST_F(RmpFixture, SourceOnlyPolicyRefusesOthersMessages) {
+  Config strict;
+  strict.any_holder_retransmit = false;
+  Rmp rmp2(kSelf, strict);
+  rmp2.add_source(kPeer, 0);
+  const Message m = regular(kPeer, 1);
+  (void)rmp2.on_reliable(0, m, raw_of(m));
+  rmp2.on_retransmit_request(10 * kMillisecond, RetransmitRequestBody{kPeer, 1, 1});
+  EXPECT_TRUE(rmp2.take_output().empty()) << "not the source: must not retransmit";
+  // But our own messages are always served.
+  const SeqNum seq = rmp2.assign_seq();
+  Message own = regular(kSelf, seq);
+  rmp2.store(kSelf, seq, raw_of(own));
+  rmp2.on_retransmit_request(20 * kMillisecond, RetransmitRequestBody{kSelf, seq, seq});
+  EXPECT_EQ(rmp2.take_output().size(), 1u);
+}
+
+TEST_F(RmpFixture, RetransmitRateLimitedPerMessage) {
+  (void)feed(regular(kPeer, 1));
+  rmp.on_retransmit_request(10 * kMillisecond, RetransmitRequestBody{kPeer, 1, 1});
+  rmp.on_retransmit_request(11 * kMillisecond, RetransmitRequestBody{kPeer, 1, 1});
+  EXPECT_EQ(rmp.take_output().size(), 1u) << "second request within interval suppressed";
+  rmp.on_retransmit_request(30 * kMillisecond, RetransmitRequestBody{kPeer, 1, 1});
+  EXPECT_EQ(rmp.take_output().size(), 1u);
+}
+
+TEST_F(RmpFixture, ReleaseReclaimsBuffers) {
+  for (SeqNum s = 1; s <= 5; ++s) (void)feed(regular(kPeer, s));
+  EXPECT_EQ(rmp.stored_count(), 5u);
+  const std::size_t bytes_before = rmp.stored_bytes();
+  EXPECT_GT(bytes_before, 0u);
+  rmp.release(kPeer, 3);
+  EXPECT_EQ(rmp.stored_count(), 2u);
+  EXPECT_LT(rmp.stored_bytes(), bytes_before);
+  // Released messages can no longer be retransmitted.
+  rmp.on_retransmit_request(10 * kMillisecond, RetransmitRequestBody{kPeer, 1, 5});
+  EXPECT_EQ(rmp.take_output().size(), 2u);
+}
+
+TEST_F(RmpFixture, NoteExistsTriggersRecovery) {
+  rmp.note_exists(1 * kMillisecond, kPeer, 7);
+  EXPECT_EQ(rmp.highest_seen(kPeer), 7u);
+  const auto out = rmp.take_output();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<NackOut>(out[0]).stop, 7u);
+}
+
+TEST_F(RmpFixture, HeartbeatDueTracksSends) {
+  EXPECT_TRUE(rmp.heartbeat_due(20 * kMillisecond));
+  rmp.note_sent(20 * kMillisecond);
+  EXPECT_FALSE(rmp.heartbeat_due(25 * kMillisecond));
+  EXPECT_TRUE(rmp.heartbeat_due(31 * kMillisecond));  // default interval 10ms
+}
+
+TEST_F(RmpFixture, AssignSeqMonotone) {
+  EXPECT_EQ(rmp.assign_seq(), 1u);
+  EXPECT_EQ(rmp.assign_seq(), 2u);
+  EXPECT_EQ(rmp.last_sent(), 2u);
+}
+
+TEST_F(RmpFixture, JoiningSourceStartsMidStream) {
+  rmp.add_source(ProcessorId{3}, 10);  // join: expect from 11
+  const Message m = regular(ProcessorId{3}, 11);
+  EXPECT_EQ(rmp.on_reliable(0, m, raw_of(m)).size(), 1u);
+  EXPECT_EQ(rmp.contiguous(ProcessorId{3}), 11u);
+}
+
+TEST_F(RmpFixture, RemoveSourceKeepsStoreUntilPurge) {
+  (void)feed(regular(kPeer, 1));
+  rmp.remove_source(kPeer);
+  EXPECT_FALSE(rmp.has_source(kPeer));
+  // Lagging members can still fetch the removed member's messages...
+  rmp.on_retransmit_request(10 * kMillisecond, RetransmitRequestBody{kPeer, 1, 1});
+  EXPECT_EQ(rmp.take_output().size(), 1u);
+  // ...until the deferred purge.
+  rmp.purge_store(kPeer);
+  rmp.on_retransmit_request(30 * kMillisecond, RetransmitRequestBody{kPeer, 1, 1});
+  EXPECT_TRUE(rmp.take_output().empty());
+}
+
+}  // namespace
+}  // namespace ftcorba::ftmp

@@ -1,0 +1,261 @@
+// Unit tests for the ROMP layer (§6): delivery condition, total order,
+// heartbeat bounds, ack timestamps and stability.
+#include <gtest/gtest.h>
+
+#include "ftmp/romp.hpp"
+
+namespace ftcorba::ftmp {
+namespace {
+
+constexpr ProcessorId kP1{1};
+constexpr ProcessorId kP2{2};
+constexpr ProcessorId kP3{3};
+
+Message regular(ProcessorId src, SeqNum seq, Timestamp ts, Timestamp ack = 0) {
+  Message m;
+  m.header.type = MessageType::kRegular;
+  m.header.source = src;
+  m.header.sequence_number = seq;
+  m.header.message_timestamp = ts;
+  m.header.ack_timestamp = ack;
+  m.body = RegularBody{};
+  return m;
+}
+
+Header heartbeat(ProcessorId src, SeqNum seq, Timestamp ts, Timestamp ack = 0) {
+  Header h;
+  h.type = MessageType::kHeartbeat;
+  h.source = src;
+  h.sequence_number = seq;
+  h.message_timestamp = ts;
+  h.ack_timestamp = ack;
+  return h;
+}
+
+struct RompFixture : ::testing::Test {
+  Config config;
+  Romp romp{kP1, config};
+  void SetUp() override { romp.set_members({kP1, kP2, kP3}); }
+};
+
+TEST_F(RompFixture, NoDeliveryUntilAllBoundsPass) {
+  romp.on_source_ordered(regular(kP2, 1, 10));
+  EXPECT_TRUE(romp.collect_deliverable().empty()) << "P1/P3 bounds still 0";
+  romp.on_heartbeat(heartbeat(kP1, 0, 11), 0);
+  EXPECT_TRUE(romp.collect_deliverable().empty()) << "P3 bound still 0";
+  romp.on_heartbeat(heartbeat(kP3, 0, 12), 0);
+  const auto out = romp.collect_deliverable();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].header.source, kP2);
+}
+
+TEST_F(RompFixture, DeliveryInTimestampOrderWithSourceTieBreak) {
+  romp.on_source_ordered(regular(kP3, 1, 5));
+  romp.on_source_ordered(regular(kP2, 1, 5));  // same ts: source id breaks tie
+  romp.on_source_ordered(regular(kP2, 2, 7));
+  romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
+  romp.on_heartbeat(heartbeat(kP2, 2, 20), 2);
+  romp.on_heartbeat(heartbeat(kP3, 1, 20), 1);
+  const auto out = romp.collect_deliverable();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].header.source, kP2);  // (5, P2)
+  EXPECT_EQ(out[1].header.source, kP3);  // (5, P3)
+  EXPECT_EQ(out[2].header.source, kP2);  // (7, P2)
+}
+
+TEST_F(RompFixture, HeartbeatWithStaleSeqDoesNotRaiseBound) {
+  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_heartbeat(heartbeat(kP1, 0, 50), 0);
+  // P3's heartbeat claims seq 4, but we've contiguously received only 0:
+  // messages 1..4 are in flight with unknown (smaller) timestamps.
+  romp.on_heartbeat(heartbeat(kP3, 4, 50), 0);
+  EXPECT_TRUE(romp.collect_deliverable().empty());
+  EXPECT_EQ(romp.bound(kP3), 0u);
+  // Matching seq raises it.
+  romp.on_heartbeat(heartbeat(kP3, 0, 50), 0);
+  EXPECT_EQ(romp.bound(kP3), 50u);
+  EXPECT_EQ(romp.collect_deliverable().size(), 1u);
+}
+
+TEST_F(RompFixture, OrderedTypesEnterPending) {
+  Message add = regular(kP2, 1, 10);
+  add.header.type = MessageType::kAddProcessor;
+  add.body = AddProcessorBody{};
+  romp.on_source_ordered(add);
+  EXPECT_EQ(romp.pending_count(), 1u);
+  Message suspect = regular(kP2, 2, 11);
+  suspect.header.type = MessageType::kSuspect;
+  suspect.body = SuspectBody{};
+  romp.on_source_ordered(suspect);
+  EXPECT_EQ(romp.pending_count(), 1u) << "Suspect is not totally ordered (Fig. 3)";
+  EXPECT_EQ(romp.bound(kP2), 11u) << "but it raises the bound";
+}
+
+TEST_F(RompFixture, Fig3OrderingClassification) {
+  EXPECT_TRUE(is_totally_ordered(MessageType::kRegular));
+  EXPECT_TRUE(is_totally_ordered(MessageType::kConnect));
+  EXPECT_TRUE(is_totally_ordered(MessageType::kAddProcessor));
+  EXPECT_TRUE(is_totally_ordered(MessageType::kRemoveProcessor));
+  EXPECT_FALSE(is_totally_ordered(MessageType::kSuspect));
+  EXPECT_FALSE(is_totally_ordered(MessageType::kMembership));
+  EXPECT_FALSE(is_totally_ordered(MessageType::kHeartbeat));
+  EXPECT_FALSE(is_totally_ordered(MessageType::kRetransmitRequest));
+  EXPECT_FALSE(is_totally_ordered(MessageType::kConnectRequest));
+
+  EXPECT_TRUE(is_reliable(MessageType::kRegular));
+  EXPECT_TRUE(is_reliable(MessageType::kSuspect));
+  EXPECT_TRUE(is_reliable(MessageType::kMembership));
+  EXPECT_FALSE(is_reliable(MessageType::kHeartbeat));
+  EXPECT_FALSE(is_reliable(MessageType::kRetransmitRequest));
+  EXPECT_FALSE(is_reliable(MessageType::kConnectRequest));
+}
+
+TEST_F(RompFixture, AckTimestampIsMinBound) {
+  romp.on_heartbeat(heartbeat(kP1, 0, 30), 0);
+  romp.on_heartbeat(heartbeat(kP2, 0, 10), 0);
+  romp.on_heartbeat(heartbeat(kP3, 0, 20), 0);
+  EXPECT_EQ(romp.ack_timestamp(), 10u);
+}
+
+TEST_F(RompFixture, StabilityFollowsMinAck) {
+  romp.on_source_ordered(regular(kP2, 1, 10, /*ack=*/0));
+  EXPECT_EQ(romp.stable_timestamp(), 0u);
+  // Everyone acks >= 10: the message is stable.
+  romp.on_heartbeat(heartbeat(kP1, 0, 40, /*ack=*/15), 0);
+  romp.on_heartbeat(heartbeat(kP2, 1, 41, /*ack=*/12), 1);
+  romp.on_heartbeat(heartbeat(kP3, 0, 42, /*ack=*/11), 0);
+  EXPECT_EQ(romp.stable_timestamp(), 11u);
+  const auto releases = romp.collect_stable();
+  ASSERT_EQ(releases.size(), 1u);
+  EXPECT_EQ(releases[0].first, kP2);
+  EXPECT_EQ(releases[0].second, 1u);
+  // Second call: nothing new.
+  EXPECT_TRUE(romp.collect_stable().empty());
+}
+
+TEST_F(RompFixture, StampAndWitnessKeepLamportProperty) {
+  romp.on_source_ordered(regular(kP2, 1, 1000));
+  EXPECT_GT(romp.stamp(0), 1000u);
+}
+
+TEST_F(RompFixture, RemoveMemberUnblocksDelivery) {
+  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
+  // P3 silent: stalled. Removing it (as PGMP conviction would) unblocks.
+  EXPECT_TRUE(romp.collect_deliverable().empty());
+  romp.remove_member(kP3, /*drop_pending=*/false);
+  EXPECT_EQ(romp.collect_deliverable().size(), 1u);
+}
+
+TEST_F(RompFixture, RemoveMemberDropsItsPending) {
+  romp.on_source_ordered(regular(kP3, 1, 10));
+  romp.remove_member(kP3, /*drop_pending=*/true);
+  romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
+  romp.on_heartbeat(heartbeat(kP2, 0, 20), 0);
+  EXPECT_TRUE(romp.collect_deliverable().empty());
+  EXPECT_EQ(romp.pending_count(), 0u);
+}
+
+TEST_F(RompFixture, AddMemberStartsAtGivenBound) {
+  romp.add_member(ProcessorId{4}, 100);
+  EXPECT_EQ(romp.bound(ProcessorId{4}), 100u);
+  // A message above everyone's bounds stalls on the new member too.
+  romp.on_source_ordered(regular(kP2, 1, 150));
+  romp.on_heartbeat(heartbeat(kP1, 0, 200), 0);
+  romp.on_heartbeat(heartbeat(kP2, 1, 200), 1);
+  romp.on_heartbeat(heartbeat(kP3, 0, 200), 0);
+  EXPECT_TRUE(romp.collect_deliverable().empty());
+  romp.on_heartbeat(heartbeat(ProcessorId{4}, 0, 160), 0);
+  EXPECT_EQ(romp.collect_deliverable().size(), 1u);
+}
+
+TEST_F(RompFixture, DrainUpToCutDeliversExactlyTheCut) {
+  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_source_ordered(regular(kP2, 2, 12));
+  romp.on_source_ordered(regular(kP3, 1, 11));
+  romp.on_source_ordered(regular(kP3, 2, 14));
+  std::map<ProcessorId, SeqNum> cuts{{kP1, 0}, {kP2, 2}, {kP3, 1}};
+  const std::set<ProcessorId> survivors{kP1, kP2};
+  const auto out = romp.drain_up_to_cut(cuts, survivors);
+  ASSERT_EQ(out.size(), 3u);
+  // (10,P2), (11,P3), (12,P2) — timestamp order.
+  EXPECT_EQ(out[0].header.message_timestamp, 10u);
+  EXPECT_EQ(out[1].header.message_timestamp, 11u);
+  EXPECT_EQ(out[2].header.message_timestamp, 12u);
+  // P3's beyond-cut message was dropped (not a survivor).
+  EXPECT_EQ(romp.pending_count(), 0u);
+}
+
+TEST_F(RompFixture, DrainKeepsSurvivorsBeyondCut) {
+  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_source_ordered(regular(kP2, 2, 12));
+  std::map<ProcessorId, SeqNum> cuts{{kP1, 0}, {kP2, 1}, {kP3, 0}};
+  const std::set<ProcessorId> survivors{kP1, kP2};
+  const auto out = romp.drain_up_to_cut(cuts, survivors);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(romp.pending_count(), 1u) << "survivor's later message stays pending";
+}
+
+TEST_F(RompFixture, DeliveryBatchStopsAtMembershipChange) {
+  // Regression (found by the soak run): a batch whose min_bound was
+  // computed over the current membership must not run past an ordered
+  // AddProcessor — later messages must also clear the NEW member's bound.
+  Message add = regular(kP2, 1, 10);
+  add.header.type = MessageType::kAddProcessor;
+  add.body = AddProcessorBody{};
+  romp.on_source_ordered(add);
+  romp.on_source_ordered(regular(kP2, 2, 12));
+  romp.on_source_ordered(regular(kP2, 3, 14));
+  romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
+  romp.on_heartbeat(heartbeat(kP3, 0, 20), 0);
+  romp.on_heartbeat(heartbeat(kP2, 3, 20), 3);
+
+  auto batch = romp.collect_deliverable();
+  ASSERT_EQ(batch.size(), 1u) << "batch must end at the AddProcessor";
+  EXPECT_EQ(batch[0].header.type, MessageType::kAddProcessor);
+
+  // The session applies the ADD: the new member P4 joins with bound 10.
+  romp.add_member(ProcessorId{4}, 10);
+  EXPECT_TRUE(romp.collect_deliverable().empty())
+      << "ts 12/14 must now wait for the new member's bound";
+  romp.on_heartbeat(heartbeat(ProcessorId{4}, 0, 13), 0);
+  auto next = romp.collect_deliverable();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].header.message_timestamp, 12u);
+}
+
+TEST_F(RompFixture, ConsumedBoundaryCoversControlMessages) {
+  // Suspect/Membership consume sequence numbers without being ordered;
+  // the join resume boundary must advance over them (soak regression).
+  romp.on_source_ordered(regular(kP2, 1, 10));
+  Message suspect = regular(kP2, 2, 11);
+  suspect.header.type = MessageType::kSuspect;
+  suspect.body = SuspectBody{};
+  romp.on_source_ordered(suspect);
+  Message membership = regular(kP2, 3, 12);
+  membership.header.type = MessageType::kMembership;
+  membership.body = MembershipBody{};
+  romp.on_source_ordered(membership);
+
+  // The Regular at seq 1 is not delivered yet: consumed stops before it.
+  EXPECT_EQ(romp.consumed_up_to(kP2), 0u);
+  romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
+  romp.on_heartbeat(heartbeat(kP3, 0, 20), 0);
+  (void)romp.collect_deliverable();  // delivers seq 1
+  EXPECT_EQ(romp.consumed_up_to(kP2), 3u)
+      << "boundary passes the delivered Regular AND the control messages";
+  EXPECT_EQ(romp.last_ordered_seq(kP2), 1u);
+}
+
+TEST_F(RompFixture, LastOrderedSeqTracksDeliveries) {
+  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
+  romp.on_heartbeat(heartbeat(kP2, 1, 20), 1);
+  romp.on_heartbeat(heartbeat(kP3, 0, 20), 0);
+  EXPECT_EQ(romp.last_ordered_seq(kP2), 0u);
+  (void)romp.collect_deliverable();
+  EXPECT_EQ(romp.last_ordered_seq(kP2), 1u);
+}
+
+}  // namespace
+}  // namespace ftcorba::ftmp

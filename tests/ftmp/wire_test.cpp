@@ -1,0 +1,125 @@
+// Unit tests for the FTMP header codec (§3.2).
+#include <gtest/gtest.h>
+
+#include "ftmp/wire.hpp"
+
+namespace ftcorba::ftmp {
+namespace {
+
+Header sample_header() {
+  Header h;
+  h.byte_order = ByteOrder::kBig;
+  h.retransmission = false;
+  h.type = MessageType::kRegular;
+  h.source = ProcessorId{42};
+  h.destination_group = ProcessorGroupId{7};
+  h.sequence_number = 123456789;
+  h.message_timestamp = 987654321;
+  h.ack_timestamp = 55;
+  return h;
+}
+
+TEST(Wire, HeaderRoundTripBigEndian) {
+  Header h = sample_header();
+  Writer w(h.byte_order);
+  encode_header(w, h);
+  patch_message_size(w, static_cast<std::uint32_t>(w.size()));
+  h.message_size = static_cast<std::uint32_t>(w.size());
+
+  Reader r(w.bytes());
+  const Header decoded = decode_header(r);
+  EXPECT_EQ(decoded, h);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, HeaderRoundTripLittleEndian) {
+  Header h = sample_header();
+  h.byte_order = ByteOrder::kLittle;
+  h.retransmission = true;
+  Writer w(h.byte_order);
+  encode_header(w, h);
+  patch_message_size(w, kHeaderSize);
+  h.message_size = kHeaderSize;
+
+  Reader r(w.bytes());  // reader starts big-endian; flag switches it
+  const Header decoded = decode_header(r);
+  EXPECT_EQ(decoded, h);
+}
+
+TEST(Wire, HeaderSizeConstantMatchesEncoding) {
+  Writer w;
+  encode_header(w, sample_header());
+  EXPECT_EQ(w.size(), kHeaderSize);
+}
+
+TEST(Wire, MagicIsFtmp) {
+  Writer w;
+  encode_header(w, sample_header());
+  const Bytes& b = w.bytes();
+  EXPECT_EQ(b[0], 'F');
+  EXPECT_EQ(b[1], 'T');
+  EXPECT_EQ(b[2], 'M');
+  EXPECT_EQ(b[3], 'P');
+  EXPECT_TRUE(looks_like_ftmp(b));
+}
+
+TEST(Wire, BadMagicRejected) {
+  Writer w;
+  encode_header(w, sample_header());
+  Bytes b = w.bytes();
+  b[0] = 'X';
+  Reader r(b);
+  EXPECT_THROW((void)decode_header(r), CodecError);
+  EXPECT_FALSE(looks_like_ftmp(b));
+}
+
+TEST(Wire, UnsupportedVersionRejected) {
+  Header h = sample_header();
+  h.version.major = 9;
+  Writer w;
+  encode_header(w, h);
+  Reader r(w.bytes());
+  EXPECT_THROW((void)decode_header(r), CodecError);
+}
+
+TEST(Wire, BadByteOrderFlagRejected) {
+  Writer w;
+  encode_header(w, sample_header());
+  Bytes b = w.bytes();
+  b[6] = 2;  // byte-order flag
+  Reader r(b);
+  EXPECT_THROW((void)decode_header(r), CodecError);
+}
+
+TEST(Wire, BadTypeRejected) {
+  Writer w;
+  encode_header(w, sample_header());
+  Bytes b = w.bytes();
+  b[12] = 0;  // type field (after magic4 + ver2 + order1 + retrans1 + size4)
+  Reader r(b);
+  EXPECT_THROW((void)decode_header(r), CodecError);
+  b[12] = 10;
+  Reader r2(b);
+  EXPECT_THROW((void)decode_header(r2), CodecError);
+}
+
+TEST(Wire, TruncatedHeaderRejected) {
+  Writer w;
+  encode_header(w, sample_header());
+  Bytes b = w.bytes();
+  b.resize(b.size() - 1);
+  Reader r(b);
+  EXPECT_THROW((void)decode_header(r), CodecError);
+}
+
+TEST(Wire, AllTypeNamesDistinct) {
+  std::set<std::string> names;
+  for (int t = 1; t <= 9; ++t) {
+    names.insert(to_string(static_cast<MessageType>(t)));
+  }
+  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(std::string(to_string(MessageType::kHeartbeat)), "Heartbeat");
+}
+
+}  // namespace
+}  // namespace ftcorba::ftmp

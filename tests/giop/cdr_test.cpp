@@ -1,0 +1,143 @@
+// Unit tests for CDR marshaling: alignment, both byte orders, strings,
+// sequences and encapsulations.
+#include <gtest/gtest.h>
+
+#include "giop/cdr.hpp"
+
+namespace ftcorba::giop {
+namespace {
+
+TEST(Cdr, PrimitiveRoundTrip) {
+  CdrWriter w(ByteOrder::kBig);
+  w.octet(0x5A);
+  w.boolean(true);
+  w.chr('Q');
+  w.short_(-123);
+  w.ushort_(456);
+  w.long_(-7890);
+  w.ulong_(0xCAFEBABE);
+  w.longlong_(-1234567890123LL);
+  w.ulonglong_(0xDEADBEEFCAFEF00DULL);
+  w.float_(3.5f);
+  w.double_(-2.25);
+
+  CdrReader r(w.bytes(), ByteOrder::kBig);
+  EXPECT_EQ(r.octet(), 0x5A);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.chr(), 'Q');
+  EXPECT_EQ(r.short_(), -123);
+  EXPECT_EQ(r.ushort_(), 456);
+  EXPECT_EQ(r.long_(), -7890);
+  EXPECT_EQ(r.ulong_(), 0xCAFEBABEu);
+  EXPECT_EQ(r.longlong_(), -1234567890123LL);
+  EXPECT_EQ(r.ulonglong_(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_FLOAT_EQ(r.float_(), 3.5f);
+  EXPECT_DOUBLE_EQ(r.double_(), -2.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Cdr, AlignmentPadding) {
+  CdrWriter w;
+  w.octet(1);     // offset 0
+  w.ulong_(2);    // must pad to offset 4
+  EXPECT_EQ(w.size(), 8u);
+  w.octet(3);     // offset 8
+  w.double_(4.0); // pads to offset 16
+  EXPECT_EQ(w.size(), 24u);
+
+  CdrReader r(w.bytes());
+  EXPECT_EQ(r.octet(), 1);
+  EXPECT_EQ(r.ulong_(), 2u);
+  EXPECT_EQ(r.octet(), 3);
+  EXPECT_DOUBLE_EQ(r.double_(), 4.0);
+}
+
+TEST(Cdr, LittleEndianRoundTrip) {
+  CdrWriter w(ByteOrder::kLittle);
+  w.ulong_(0x01020304);
+  EXPECT_EQ(to_hex(w.bytes()), "04030201");
+  CdrReader r(w.bytes(), ByteOrder::kLittle);
+  EXPECT_EQ(r.ulong_(), 0x01020304u);
+}
+
+TEST(Cdr, CorbaStringIncludesNul) {
+  CdrWriter w;
+  w.string("ab");
+  // ulong length (3 = "ab" + NUL) + bytes + NUL
+  EXPECT_EQ(to_hex(w.bytes()), "00000003" "6162" "00");
+  CdrReader r(w.bytes());
+  EXPECT_EQ(r.string(), "ab");
+}
+
+TEST(Cdr, EmptyString) {
+  CdrWriter w;
+  w.string("");
+  CdrReader r(w.bytes());
+  EXPECT_EQ(r.string(), "");
+}
+
+TEST(Cdr, StringMissingNulRejected) {
+  CdrWriter w;
+  w.ulong_(2);
+  w.octet('a');
+  w.octet('b');  // no NUL
+  CdrReader r(w.bytes());
+  EXPECT_THROW((void)r.string(), CdrError);
+}
+
+TEST(Cdr, ZeroLengthStringFieldRejected) {
+  CdrWriter w;
+  w.ulong_(0);  // CORBA strings always include the NUL: length >= 1
+  CdrReader r(w.bytes());
+  EXPECT_THROW((void)r.string(), CdrError);
+}
+
+TEST(Cdr, OctetSeqRoundTrip) {
+  CdrWriter w;
+  w.octet_seq(bytes_of("binary\0data"));
+  CdrReader r(w.bytes());
+  EXPECT_EQ(r.octet_seq(), bytes_of("binary\0data"));
+}
+
+TEST(Cdr, EncapsulationCarriesItsOwnByteOrder) {
+  CdrWriter nested(ByteOrder::kLittle);
+  nested.ulong_(0xAABBCCDD);
+  CdrWriter outer(ByteOrder::kBig);
+  outer.encapsulation(nested);
+
+  CdrReader r(outer.bytes(), ByteOrder::kBig);
+  CdrReader inner = r.encapsulation();
+  EXPECT_EQ(inner.order(), ByteOrder::kLittle);
+  EXPECT_EQ(inner.ulong_(), 0xAABBCCDDu);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Cdr, ReadPastEndThrows) {
+  CdrWriter w;
+  w.octet(1);
+  CdrReader r(w.bytes());
+  EXPECT_EQ(r.octet(), 1);
+  EXPECT_THROW((void)r.ulong_(), CdrError);
+}
+
+TEST(Cdr, AlignmentIsRelativeToStreamStart) {
+  // A reader over a slice re-aligns from its own offset 0 — callers must
+  // slice at aligned boundaries (the GIOP codec does).
+  CdrWriter w;
+  w.ulong_(7);
+  w.ulong_(9);
+  CdrReader r(BytesView(w.bytes()).subspan(4));
+  EXPECT_EQ(r.ulong_(), 9u);
+}
+
+TEST(Cdr, PatchUlong) {
+  CdrWriter w;
+  w.ulong_(0);
+  w.string("later");
+  w.patch_ulong(0, 42);
+  CdrReader r(w.bytes());
+  EXPECT_EQ(r.ulong_(), 42u);
+}
+
+}  // namespace
+}  // namespace ftcorba::giop

@@ -1,0 +1,126 @@
+// "Each processor can be a member of several processor groups at the same
+// time" (§2): tests for multi-group stacks — independent ordering,
+// independent membership, and per-group fault isolation.
+#include <gtest/gtest.h>
+
+#include "ftmp/sim_harness.hpp"
+
+namespace ftcorba::ftmp {
+namespace {
+
+constexpr FtDomainId kDomain{1};
+constexpr McastAddress kDomainAddr{100};
+constexpr ProcessorGroupId kGroupA{1};
+constexpr ProcessorGroupId kGroupB{2};
+constexpr McastAddress kAddrA{200};
+constexpr McastAddress kAddrB{201};
+
+ConnectionId conn(std::uint32_t tag) {
+  return ConnectionId{kDomain, ObjectGroupId{tag}, kDomain, ObjectGroupId{tag + 100}};
+}
+
+TEST(MultiGroup, IndependentTotalOrders) {
+  SimHarness h({}, 41);
+  // A = {1,2,3}; B = {2,3,4}: members 2 and 3 belong to both.
+  std::vector<ProcessorId> a{ProcessorId{1}, ProcessorId{2}, ProcessorId{3}};
+  std::vector<ProcessorId> b{ProcessorId{2}, ProcessorId{3}, ProcessorId{4}};
+  for (std::uint32_t i = 1; i <= 4; ++i) h.add_processor(ProcessorId{i}, kDomain, kDomainAddr);
+  for (ProcessorId p : a) h.stack(p).create_group(h.now(), kGroupA, kAddrA, a);
+  for (ProcessorId p : b) h.stack(p).create_group(h.now(), kGroupB, kAddrB, b);
+
+  for (int round = 0; round < 5; ++round) {
+    for (ProcessorId p : a) {
+      h.stack(p).group(kGroupA)->send_regular(h.now(), conn(1), round + 1,
+                                              bytes_of("A-" + to_string(p) + "-" +
+                                                       std::to_string(round)));
+    }
+    for (ProcessorId p : b) {
+      h.stack(p).group(kGroupB)->send_regular(h.now(), conn(2), round + 1,
+                                              bytes_of("B-" + to_string(p) + "-" +
+                                                       std::to_string(round)));
+    }
+    h.run_for(3 * kMillisecond);
+  }
+  h.run_for(300 * kMillisecond);
+
+  // Group A agreement among its members.
+  auto ref_a = h.delivered(ProcessorId{1}, kGroupA);
+  ASSERT_EQ(ref_a.size(), 15u);
+  for (ProcessorId p : a) {
+    auto msgs = h.delivered(p, kGroupA);
+    ASSERT_EQ(msgs.size(), ref_a.size()) << "at " << to_string(p);
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(msgs[i].giop_message, ref_a[i].giop_message);
+    }
+  }
+  // Group B agreement among its members.
+  auto ref_b = h.delivered(ProcessorId{4}, kGroupB);
+  ASSERT_EQ(ref_b.size(), 15u);
+  for (ProcessorId p : b) {
+    auto msgs = h.delivered(p, kGroupB);
+    ASSERT_EQ(msgs.size(), ref_b.size()) << "at " << to_string(p);
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(msgs[i].giop_message, ref_b[i].giop_message);
+    }
+  }
+  // No cross-contamination: P1 never saw a B message, P4 never an A one.
+  EXPECT_TRUE(h.delivered(ProcessorId{1}, kGroupB).empty());
+  EXPECT_TRUE(h.delivered(ProcessorId{4}, kGroupA).empty());
+}
+
+TEST(MultiGroup, CrashConvictsInEveryGroup) {
+  SimHarness h({}, 43);
+  std::vector<ProcessorId> a{ProcessorId{1}, ProcessorId{2}, ProcessorId{3}};
+  std::vector<ProcessorId> b{ProcessorId{2}, ProcessorId{3}, ProcessorId{4}};
+  for (std::uint32_t i = 1; i <= 4; ++i) h.add_processor(ProcessorId{i}, kDomain, kDomainAddr);
+  for (ProcessorId p : a) h.stack(p).create_group(h.now(), kGroupA, kAddrA, a);
+  for (ProcessorId p : b) h.stack(p).create_group(h.now(), kGroupB, kAddrB, b);
+  h.run_for(50 * kMillisecond);
+
+  // P3 is in both groups; its crash must be detected and resolved in both
+  // (§2: "The protocol removes a processor that has been convicted of
+  // being faulty from all processor groups of which it is a member").
+  h.crash(ProcessorId{3});
+  ASSERT_TRUE(h.run_until_pred(
+      [&] {
+        auto* ga = h.stack(ProcessorId{1}).group(kGroupA);
+        auto* gb = h.stack(ProcessorId{4}).group(kGroupB);
+        return ga && !ga->is_member(ProcessorId{3}) && gb &&
+               !gb->is_member(ProcessorId{3});
+      },
+      h.now() + 10 * kSecond));
+  EXPECT_EQ(h.stack(ProcessorId{2}).group(kGroupA)->membership().members.size(), 2u);
+  EXPECT_EQ(h.stack(ProcessorId{2}).group(kGroupB)->membership().members.size(), 2u);
+}
+
+TEST(MultiGroup, RemoveFromOneGroupOnly) {
+  SimHarness h({}, 47);
+  std::vector<ProcessorId> a{ProcessorId{1}, ProcessorId{2}, ProcessorId{3}};
+  std::vector<ProcessorId> b{ProcessorId{1}, ProcessorId{2}, ProcessorId{3}};
+  for (std::uint32_t i = 1; i <= 3; ++i) h.add_processor(ProcessorId{i}, kDomain, kDomainAddr);
+  for (ProcessorId p : a) h.stack(p).create_group(h.now(), kGroupA, kAddrA, a);
+  for (ProcessorId p : b) h.stack(p).create_group(h.now(), kGroupB, kAddrB, b);
+  h.run_for(50 * kMillisecond);
+
+  // Planned removal of P3 from group A only; it stays active in B.
+  ASSERT_TRUE(h.stack(ProcessorId{1}).remove_processor(h.now(), kGroupA, ProcessorId{3}));
+  ASSERT_TRUE(h.run_until_pred(
+      [&] {
+        auto* ga = h.stack(ProcessorId{1}).group(kGroupA);
+        return ga && ga->membership().members.size() == 2;
+      },
+      h.now() + 5 * kSecond));
+  EXPECT_FALSE(h.stack(ProcessorId{3}).group(kGroupA)->active());
+  EXPECT_TRUE(h.stack(ProcessorId{3}).group(kGroupB)->active());
+
+  // P3 still orders messages in group B.
+  h.clear_events();
+  h.stack(ProcessorId{3}).group(kGroupB)->send_regular(h.now(), conn(2), 1,
+                                                       bytes_of("still-here"));
+  h.run_for(300 * kMillisecond);
+  EXPECT_EQ(h.delivered(ProcessorId{1}, kGroupB).size(), 1u);
+  EXPECT_EQ(h.delivered(ProcessorId{3}, kGroupB).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ftcorba::ftmp

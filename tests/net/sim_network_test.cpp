@@ -1,0 +1,202 @@
+// Unit tests for the deterministic simulated multicast network.
+#include <gtest/gtest.h>
+
+#include "net/sim_network.hpp"
+
+namespace ftcorba::net {
+namespace {
+
+constexpr McastAddress kAddr{1};
+
+Datagram make(BytesView payload) { return Datagram{kAddr, Bytes(payload.begin(), payload.end())}; }
+
+std::vector<Delivery> drain(SimNetwork& net, TimePoint until) {
+  std::vector<Delivery> out;
+  while (auto d = net.pop_due(until)) out.push_back(std::move(*d));
+  return out;
+}
+
+TEST(SimNetwork, MulticastFanOutIncludesLoopback) {
+  SimNetwork net({}, 1);
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    net.attach(ProcessorId{i});
+    net.subscribe(ProcessorId{i}, kAddr);
+  }
+  net.send(0, ProcessorId{1}, make(bytes_of("x")));
+  auto deliveries = drain(net, 1 * kSecond);
+  ASSERT_EQ(deliveries.size(), 3u);  // 2 receivers + sender loopback
+  bool self_seen = false;
+  for (const Delivery& d : deliveries) {
+    if (d.dest == ProcessorId{1}) self_seen = true;
+    EXPECT_EQ(d.datagram.payload, bytes_of("x"));
+  }
+  EXPECT_TRUE(self_seen);
+}
+
+TEST(SimNetwork, OnlySubscribersReceive) {
+  SimNetwork net({}, 1);
+  for (std::uint32_t i = 1; i <= 3; ++i) net.attach(ProcessorId{i});
+  net.subscribe(ProcessorId{2}, kAddr);
+  net.send(0, ProcessorId{1}, make(bytes_of("x")));
+  auto deliveries = drain(net, 1 * kSecond);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].dest, ProcessorId{2});
+}
+
+TEST(SimNetwork, DeterministicWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    LinkModel lossy;
+    lossy.loss = 0.5;
+    SimNetwork net(lossy, seed);
+    for (std::uint32_t i = 1; i <= 4; ++i) {
+      net.attach(ProcessorId{i});
+      net.subscribe(ProcessorId{i}, kAddr);
+    }
+    std::vector<std::pair<TimePoint, std::uint32_t>> log;
+    for (int k = 0; k < 20; ++k) {
+      net.send(k * kMillisecond, ProcessorId{std::uint32_t(1 + (k % 4))},
+               make(bytes_of("m")));
+    }
+    while (auto d = net.pop_due(10 * kSecond)) {
+      log.emplace_back(d->at, d->dest.raw());
+    }
+    return log;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimNetwork, LossRateApproximatelyRespected) {
+  LinkModel lossy;
+  lossy.loss = 0.3;
+  SimNetwork net(lossy, 3);
+  net.attach(ProcessorId{1});
+  net.attach(ProcessorId{2});
+  net.subscribe(ProcessorId{2}, kAddr);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) net.send(i, ProcessorId{1}, make(bytes_of("p")));
+  const auto deliveries = drain(net, 100 * kSecond);
+  const double rate = 1.0 - double(deliveries.size()) / n;
+  EXPECT_NEAR(rate, 0.3, 0.03);
+}
+
+TEST(SimNetwork, LoopbackIsLossless) {
+  LinkModel lossy;
+  lossy.loss = 1.0;  // everything to others lost
+  SimNetwork net(lossy, 3);
+  net.attach(ProcessorId{1});
+  net.attach(ProcessorId{2});
+  net.subscribe(ProcessorId{1}, kAddr);
+  net.subscribe(ProcessorId{2}, kAddr);
+  net.send(0, ProcessorId{1}, make(bytes_of("p")));
+  auto deliveries = drain(net, 1 * kSecond);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].dest, ProcessorId{1});
+}
+
+TEST(SimNetwork, CrashStopsTraffic) {
+  SimNetwork net({}, 1);
+  net.attach(ProcessorId{1});
+  net.attach(ProcessorId{2});
+  net.subscribe(ProcessorId{1}, kAddr);
+  net.subscribe(ProcessorId{2}, kAddr);
+  net.crash(ProcessorId{2});
+  net.send(0, ProcessorId{1}, make(bytes_of("a")));  // to 2: dropped
+  net.send(0, ProcessorId{2}, make(bytes_of("b")));  // from 2: dropped entirely
+  auto deliveries = drain(net, 1 * kSecond);
+  ASSERT_EQ(deliveries.size(), 1u);  // only 1's loopback of "a"
+  EXPECT_EQ(deliveries[0].dest, ProcessorId{1});
+}
+
+TEST(SimNetwork, InFlightPacketLostWhenDestCrashes) {
+  SimNetwork net({}, 1);
+  net.attach(ProcessorId{1});
+  net.attach(ProcessorId{2});
+  net.subscribe(ProcessorId{2}, kAddr);
+  net.send(0, ProcessorId{1}, make(bytes_of("x")));
+  net.crash(ProcessorId{2});  // after send, before delivery
+  EXPECT_TRUE(drain(net, 1 * kSecond).empty());
+}
+
+TEST(SimNetwork, PartitionBlocksAcrossCells) {
+  SimNetwork net({}, 1);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    net.attach(ProcessorId{i});
+    net.subscribe(ProcessorId{i}, kAddr);
+  }
+  net.set_partition({{ProcessorId{1}, ProcessorId{2}}, {ProcessorId{3}, ProcessorId{4}}});
+  net.send(0, ProcessorId{1}, make(bytes_of("x")));
+  auto deliveries = drain(net, 1 * kSecond);
+  ASSERT_EQ(deliveries.size(), 2u);  // loopback + P2 only
+  for (const Delivery& d : deliveries) {
+    EXPECT_LE(d.dest.raw(), 2u);
+  }
+  net.heal();
+  net.send(1 * kSecond, ProcessorId{1}, make(bytes_of("y")));
+  EXPECT_EQ(drain(net, 2 * kSecond).size(), 4u);
+}
+
+TEST(SimNetwork, DuplicationDeliversTwice) {
+  LinkModel dup;
+  dup.duplicate = 1.0;
+  SimNetwork net(dup, 1);
+  net.attach(ProcessorId{1});
+  net.attach(ProcessorId{2});
+  net.subscribe(ProcessorId{2}, kAddr);
+  net.send(0, ProcessorId{1}, make(bytes_of("x")));
+  EXPECT_EQ(drain(net, 1 * kSecond).size(), 2u);
+}
+
+TEST(SimNetwork, JitterCanReorder) {
+  LinkModel jittery;
+  jittery.delay = 1 * kMillisecond;
+  jittery.jitter = 10 * kMillisecond;
+  SimNetwork net(jittery, 5);
+  net.attach(ProcessorId{1});
+  net.attach(ProcessorId{2});
+  net.subscribe(ProcessorId{2}, kAddr);
+  for (int i = 0; i < 50; ++i) {
+    net.send(i * 100 * kMicrosecond, ProcessorId{1},
+             Datagram{kAddr, Bytes{static_cast<std::uint8_t>(i)}});
+  }
+  auto deliveries = drain(net, 10 * kSecond);
+  ASSERT_EQ(deliveries.size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < deliveries.size(); ++i) {
+    if (deliveries[i].datagram.payload[0] < deliveries[i - 1].datagram.payload[0]) {
+      reordered = true;
+    }
+  }
+  EXPECT_TRUE(reordered) << "with jitter >> send spacing some reordering is expected";
+}
+
+TEST(SimNetwork, StatsAccounting) {
+  SimNetwork net({}, 1);
+  net.attach(ProcessorId{1});
+  net.attach(ProcessorId{2});
+  net.subscribe(ProcessorId{2}, kAddr);
+  net.send(0, ProcessorId{1}, make(bytes_of("abcd")));
+  EXPECT_EQ(net.stats().packets_sent, 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 4u);
+  EXPECT_EQ(net.stats().receiver_deliveries, 1u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().packets_sent, 0u);
+}
+
+TEST(SimNetwork, PerLinkOverride) {
+  SimNetwork net({}, 1);
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    net.attach(ProcessorId{i});
+    net.subscribe(ProcessorId{i}, kAddr);
+  }
+  LinkModel broken;
+  broken.loss = 1.0;
+  net.set_link(ProcessorId{1}, ProcessorId{2}, broken);
+  net.send(0, ProcessorId{1}, make(bytes_of("x")));
+  auto deliveries = drain(net, 1 * kSecond);
+  ASSERT_EQ(deliveries.size(), 2u);  // loopback + P3; P2's link drops all
+  for (const Delivery& d : deliveries) EXPECT_NE(d.dest, ProcessorId{2});
+}
+
+}  // namespace
+}  // namespace ftcorba::net

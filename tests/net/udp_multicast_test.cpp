@@ -1,0 +1,89 @@
+// Tests for the real UDP multicast transport. Environments without
+// loopback multicast support (containers, sandboxes) skip gracefully.
+#include <gtest/gtest.h>
+
+#include "net/udp_multicast.hpp"
+
+namespace ftcorba::net {
+namespace {
+
+constexpr McastAddress kAddr{0x0105};  // 239.192.1.5
+
+TEST(UdpMulticast, GroupIpMapping) {
+  EXPECT_EQ(UdpMulticastTransport::group_ip(McastAddress{0}), "239.192.0.0");
+  EXPECT_EQ(UdpMulticastTransport::group_ip(McastAddress{0x0105}), "239.192.1.5");
+  EXPECT_EQ(UdpMulticastTransport::group_ip(McastAddress{0xFFFF}), "239.192.255.255");
+}
+
+TEST(UdpMulticast, LoopbackSendReceive) {
+  UdpMulticastTransport::Options options;
+  options.port = 31999;
+  try {
+    UdpMulticastTransport sender(options);
+    UdpMulticastTransport receiver(options);
+    receiver.join(kAddr);
+    sender.send(Datagram{kAddr, bytes_of("over-the-wire")});
+    // A couple of tries: the kernel may need a moment.
+    for (int i = 0; i < 10; ++i) {
+      auto got = receiver.receive(100 * kMillisecond);
+      if (got) {
+        EXPECT_EQ(got->addr, kAddr);
+        EXPECT_EQ(got->payload, bytes_of("over-the-wire"));
+        return;
+      }
+    }
+    GTEST_SKIP() << "multicast loopback not functional in this environment";
+  } catch (const TransportError& e) {
+    GTEST_SKIP() << "UDP multicast unavailable: " << e.what();
+  }
+}
+
+TEST(UdpMulticast, SelfLoopbackWhenEnabled) {
+  UdpMulticastTransport::Options options;
+  options.port = 32001;
+  options.loopback = true;
+  try {
+    UdpMulticastTransport endpoint(options);
+    endpoint.join(kAddr);
+    endpoint.send(Datagram{kAddr, bytes_of("self")});
+    for (int i = 0; i < 10; ++i) {
+      auto got = endpoint.receive(100 * kMillisecond);
+      if (got) {
+        EXPECT_EQ(got->payload, bytes_of("self"));
+        return;
+      }
+    }
+    GTEST_SKIP() << "multicast loopback not functional in this environment";
+  } catch (const TransportError& e) {
+    GTEST_SKIP() << "UDP multicast unavailable: " << e.what();
+  }
+}
+
+TEST(UdpMulticast, ReceiveTimesOutQuietly) {
+  UdpMulticastTransport::Options options;
+  options.port = 32003;
+  try {
+    UdpMulticastTransport endpoint(options);
+    endpoint.join(kAddr);
+    EXPECT_FALSE(endpoint.receive(10 * kMillisecond).has_value());
+  } catch (const TransportError& e) {
+    GTEST_SKIP() << "UDP multicast unavailable: " << e.what();
+  }
+}
+
+TEST(UdpMulticast, JoinLeaveIdempotent) {
+  UdpMulticastTransport::Options options;
+  options.port = 32005;
+  try {
+    UdpMulticastTransport endpoint(options);
+    endpoint.join(kAddr);
+    endpoint.join(kAddr);
+    endpoint.leave(kAddr);
+    endpoint.leave(kAddr);
+  } catch (const TransportError& e) {
+    GTEST_SKIP() << "UDP multicast unavailable: " << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace ftcorba::net

@@ -1,0 +1,82 @@
+// Unit tests for stringified group object references and invocation
+// deadlines.
+#include <gtest/gtest.h>
+
+#include "orb/ior.hpp"
+#include "orb/orb.hpp"
+
+namespace ftcorba::orb {
+namespace {
+
+GroupObjectRef sample_ref() {
+  GroupObjectRef ref;
+  ref.domain = FtDomainId{7};
+  ref.object_group = ObjectGroupId{42};
+  ref.domain_address = McastAddress{0x0105};
+  ref.key = ObjectKey{"account:alice"};
+  return ref;
+}
+
+TEST(Ior, RoundTrip) {
+  const GroupObjectRef ref = sample_ref();
+  const std::string ior = to_ior(ref);
+  EXPECT_EQ(ior.substr(0, 6), "FTIOR:");
+  auto parsed = from_ior(ior);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ref);
+}
+
+TEST(Ior, EmptyKeyRoundTrips) {
+  GroupObjectRef ref = sample_ref();
+  ref.key = ObjectKey{};
+  auto parsed = from_ior(to_ior(ref));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ref);
+}
+
+TEST(Ior, BinaryKeyRoundTrips) {
+  GroupObjectRef ref = sample_ref();
+  ref.key = ObjectKey{Bytes{0x00, 0xFF, 0x7E, 0x00, 0x01}};
+  auto parsed = from_ior(to_ior(ref));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key, ref.key);
+}
+
+TEST(Ior, RejectsMalformedInput) {
+  EXPECT_FALSE(from_ior("").has_value());
+  EXPECT_FALSE(from_ior("IOR:deadbeef").has_value());
+  EXPECT_FALSE(from_ior("FTIOR:").has_value());
+  EXPECT_FALSE(from_ior("FTIOR:zz").has_value());
+  EXPECT_FALSE(from_ior("FTIOR:abc").has_value());  // odd hex length
+  EXPECT_FALSE(from_ior("FTIOR:00").has_value());   // truncated encapsulation
+}
+
+TEST(Ior, RejectsTamperedHex) {
+  std::string ior = to_ior(sample_ref());
+  // Truncate the encapsulation body.
+  ior.resize(ior.size() - 8);
+  EXPECT_FALSE(from_ior(ior).has_value());
+}
+
+TEST(Ior, RejectsUnknownVersion) {
+  // Build a profile with version 9 by hand.
+  giop::CdrWriter profile;
+  profile.octet(9);
+  profile.ulong_(1);
+  profile.ulong_(2);
+  profile.ulong_(3);
+  profile.octet_seq({});
+  giop::CdrWriter outer;
+  outer.encapsulation(profile);
+  EXPECT_FALSE(from_ior("FTIOR:" + to_hex(outer.bytes())).has_value());
+}
+
+TEST(Ior, DistinctRefsStringifyDifferently) {
+  GroupObjectRef a = sample_ref();
+  GroupObjectRef b = sample_ref();
+  b.object_group = ObjectGroupId{43};
+  EXPECT_NE(to_ior(a), to_ior(b));
+}
+
+}  // namespace
+}  // namespace ftcorba::orb

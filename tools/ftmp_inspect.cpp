@@ -1,0 +1,172 @@
+// ftmp_inspect — wire-debugging utility: decodes a hex-encoded FTMP
+// datagram (and any GIOP message nested in a Regular payload) to a
+// human-readable description.
+//
+//   $ ./ftmp_inspect 46544d50...            # hex from a packet capture
+//   $ echo 46544d50... | ./ftmp_inspect     # or on stdin
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "ftmp/fragment.hpp"
+#include "ftmp/messages.hpp"
+#include "giop/messages.hpp"
+
+using namespace ftcorba;
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool parse_hex(const std::string& hex, Bytes& out) {
+  std::string clean;
+  for (char c : hex) {
+    if (!isspace(static_cast<unsigned char>(c))) clean.push_back(c);
+  }
+  if (clean.size() % 2 != 0) return false;
+  out.clear();
+  for (std::size_t i = 0; i < clean.size(); i += 2) {
+    const int hi = hex_value(clean[i]);
+    const int lo = hex_value(clean[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+void print_connection(const ConnectionId& c) {
+  std::printf("    connection       %s\n", to_string(c).c_str());
+}
+
+void print_members(const char* label, const std::vector<ProcessorId>& members) {
+  std::printf("    %-16s {", label);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", to_string(members[i]).c_str());
+  }
+  std::printf("}\n");
+}
+
+void print_giop(BytesView payload) {
+  if (ftmp::looks_like_fragment(payload)) {
+    std::printf("  payload: FTMP fragment chunk (%zu bytes incl. header)\n",
+                payload.size());
+    return;
+  }
+  if (!giop::looks_like_giop(payload)) {
+    std::printf("  payload: %zu bytes (not GIOP)\n", payload.size());
+    return;
+  }
+  try {
+    const giop::GiopMessage msg = giop::decode(payload);
+    std::printf("  GIOP %u.%u %s, body %u bytes\n", msg.header.major,
+                msg.header.minor, giop::to_string(msg.header.type),
+                msg.header.message_size);
+    if (const auto* request = std::get_if<giop::Request>(&msg.body)) {
+      std::printf("    request id       %u%s\n", request->request_id,
+                  request->response_expected ? "" : " (oneway)");
+      std::printf("    object key       \"%s\"\n",
+                  std::string(request->object_key.begin(), request->object_key.end())
+                      .c_str());
+      std::printf("    operation        \"%s\"\n", request->operation.c_str());
+      std::printf("    arguments        %zu bytes\n", request->body.size());
+    } else if (const auto* reply = std::get_if<giop::Reply>(&msg.body)) {
+      static const char* kStatus[] = {"NO_EXCEPTION", "USER_EXCEPTION",
+                                      "SYSTEM_EXCEPTION", "LOCATION_FORWARD"};
+      std::printf("    request id       %u\n", reply->request_id);
+      std::printf("    status           %s\n",
+                  kStatus[static_cast<std::uint32_t>(reply->status)]);
+      std::printf("    results          %zu bytes\n", reply->body.size());
+    }
+  } catch (const giop::CdrError& e) {
+    std::printf("  GIOP decode failed: %s\n", e.what());
+  }
+}
+
+int inspect(const Bytes& datagram) {
+  if (!ftmp::looks_like_ftmp(datagram)) {
+    std::printf("not an FTMP datagram (magic mismatch)\n");
+    return 1;
+  }
+  ftmp::Message msg;
+  try {
+    msg = ftmp::decode_message(datagram);
+  } catch (const CodecError& e) {
+    std::printf("FTMP decode failed: %s\n", e.what());
+    return 1;
+  }
+  const ftmp::Header& h = msg.header;
+  std::printf("FTMP %u.%u %s, %u bytes, %s-endian%s\n", h.version.major,
+              h.version.minor, ftmp::to_string(h.type), h.message_size,
+              h.byte_order == ByteOrder::kLittle ? "little" : "big",
+              h.retransmission ? " [retransmission]" : "");
+  std::printf("  source %s -> group %s\n", to_string(h.source).c_str(),
+              to_string(h.destination_group).c_str());
+  std::printf("  seq %llu  ts %llu  ack-ts %llu\n",
+              static_cast<unsigned long long>(h.sequence_number),
+              static_cast<unsigned long long>(h.message_timestamp),
+              static_cast<unsigned long long>(h.ack_timestamp));
+
+  if (const auto* regular = std::get_if<ftmp::RegularBody>(&msg.body)) {
+    print_connection(regular->connection);
+    std::printf("    request num      %llu\n",
+                static_cast<unsigned long long>(regular->request_num));
+    print_giop(regular->giop_message);
+  } else if (const auto* nack = std::get_if<ftmp::RetransmitRequestBody>(&msg.body)) {
+    std::printf("    missing from %s seq [%llu, %llu]\n",
+                to_string(nack->processor).c_str(),
+                static_cast<unsigned long long>(nack->start_seq),
+                static_cast<unsigned long long>(nack->stop_seq));
+  } else if (const auto* cr = std::get_if<ftmp::ConnectRequestBody>(&msg.body)) {
+    print_connection(cr->connection);
+    print_members("client procs", cr->client_processors);
+  } else if (const auto* connect = std::get_if<ftmp::ConnectBody>(&msg.body)) {
+    print_connection(connect->connection);
+    std::printf("    processor group  %s\n", to_string(connect->processor_group).c_str());
+    std::printf("    mcast address    %u\n", connect->multicast_address.raw());
+    std::printf("    membership ts    %llu\n",
+                static_cast<unsigned long long>(connect->current_membership.timestamp));
+    print_members("membership", connect->current_membership.members);
+  } else if (const auto* add = std::get_if<ftmp::AddProcessorBody>(&msg.body)) {
+    std::printf("    new member       %s\n", to_string(add->new_member).c_str());
+    print_members("membership", add->current_membership.members);
+    for (const auto& ss : add->current_seqs) {
+      std::printf("    ordered up to    %s: %llu\n", to_string(ss.processor).c_str(),
+                  static_cast<unsigned long long>(ss.seq));
+    }
+  } else if (const auto* remove = std::get_if<ftmp::RemoveProcessorBody>(&msg.body)) {
+    std::printf("    member to remove %s\n", to_string(remove->member_to_remove).c_str());
+  } else if (const auto* suspect = std::get_if<ftmp::SuspectBody>(&msg.body)) {
+    print_members("suspects", suspect->suspects);
+    print_members("membership", suspect->current_membership.members);
+  } else if (const auto* membership = std::get_if<ftmp::MembershipBody>(&msg.body)) {
+    print_members("proposal", membership->new_membership);
+    print_members("old members", membership->current_membership.members);
+    for (const auto& ss : membership->current_seqs) {
+      std::printf("    received up to   %s: %llu\n", to_string(ss.processor).c_str(),
+                  static_cast<unsigned long long>(ss.seq));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string hex;
+  if (argc > 1) {
+    hex = argv[1];
+  } else {
+    std::getline(std::cin, hex);
+  }
+  Bytes datagram;
+  if (!parse_hex(hex, datagram)) {
+    std::fprintf(stderr, "usage: ftmp_inspect <hex-datagram>  (or hex on stdin)\n");
+    return 2;
+  }
+  return inspect(datagram);
+}
