@@ -101,5 +101,15 @@ int main() {
   for (double loss : {0.05, 0.10, 0.20, 0.30}) {
     run_row(loss, /*any_holder=*/false);
   }
+
+  // Observability snapshot (docs/METRICS.md): one isolated 20%-loss run with
+  // the registry zeroed first, so every counter below belongs to this run.
+  banner("E4-metrics", "registry snapshot for one any-holder run at 20% loss");
+  reset_metrics();
+  std::printf("%7s | %-11s | %9s | %9s | %9s | %7s | %8s | %9s\n", "loss",
+              "retransmit", "mean ms", "p50 ms", "p99 ms", "NACKs", "retrans",
+              "delivery");
+  run_row(0.20, /*any_holder=*/true);
+  print_metrics("bench_e4_loss loss=20% any-holder n=4");
   return 0;
 }

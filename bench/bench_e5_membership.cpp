@@ -89,5 +89,28 @@ int main() {
   }
   std::printf("fault timeout: 100 ms, heartbeats every 5 ms. \"excl - timeout\" is the\n"
               "protocol's own cost beyond detection (Suspect + Membership + cut).\n");
+
+  // Observability snapshot (docs/METRICS.md): one isolated crash-exclusion
+  // run (n=5) with the registry zeroed first, so the PGMP suspicion /
+  // conviction / install-duration metrics below belong to this run alone.
+  banner("E5-metrics", "registry snapshot for one crash exclusion (n=5)");
+  {
+    const int n = 5;
+    const ftmp::Config cfg = bench_config();
+    FtmpFleet fleet(n, cfg, {}, /*seed=*/777);
+    reset_metrics();
+    for (ProcessorId p : fleet.members) fleet.send_from(p, 64);
+    fleet.h.run_for(20 * kMillisecond);
+    const ProcessorId victim = fleet.members.back();
+    std::vector<ProcessorId> survivors(fleet.members.begin(), fleet.members.end() - 1);
+    const TimePoint crash_at = fleet.h.now();
+    fleet.h.crash(victim);
+    fleet.h.run_until_pred(
+        [&] { return everyone_has_membership(fleet.h, survivors, std::size_t(n - 1)); },
+        crash_at + 30 * kSecond);
+    std::printf("crash exclusion completed in %.1f simulated ms\n",
+                to_ms(fleet.h.now() - crash_at));
+    print_metrics("bench_e5_membership crash exclusion n=5");
+  }
   return 0;
 }

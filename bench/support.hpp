@@ -13,6 +13,7 @@
 #include "baseline/harness.hpp"
 #include "baseline/sequencer.hpp"
 #include "baseline/tokenring.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "ftmp/sim_harness.hpp"
@@ -227,6 +228,27 @@ inline void banner(const std::string& experiment, const std::string& what) {
   std::printf("\n=====================================================================\n");
   std::printf("%s — %s\n", experiment.c_str(), what.c_str());
   std::printf("=====================================================================\n");
+}
+
+// ---------------------------------------------------------------------------
+// Observability hooks (docs/METRICS.md): benches zero the process-global
+// registry before an instrumented run and dump a snapshot after, so the
+// printed metrics cover exactly one scenario.
+// ---------------------------------------------------------------------------
+
+inline void reset_metrics() {
+  metrics::reset_all();
+  metrics::trace_clear();
+}
+
+/// Prints the Prometheus-text metrics snapshot under a labeled divider.
+/// No-op (empty dump) when the tree is built with FTMP_METRICS=OFF.
+inline void print_metrics(const std::string& label) {
+  const std::string dump = metrics::render_prometheus();
+  if (dump.empty()) return;
+  std::printf("\n--- metrics snapshot: %s ---\n", label.c_str());
+  std::fputs(dump.c_str(), stdout);
+  std::printf("--- end metrics snapshot ---\n");
 }
 
 }  // namespace ftcorba::bench

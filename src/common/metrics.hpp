@@ -1,0 +1,279 @@
+// metrics.hpp — protocol-wide observability: a process-global registry of
+// counters, gauges and fixed-bucket latency histograms, plus a structured
+// trace-event ring buffer keyed off the ftmp/events.hpp event kinds.
+//
+// Design rules (docs/METRICS.md is the user-facing reference):
+//
+//   * Hot path is lock-free. Call sites hold a small value-type handle
+//     (CounterHandle / GaugeHandle / HistogramHandle) obtained once at
+//     construction time; add()/observe() are relaxed atomic operations.
+//     Registration and snapshot/render take a mutex (cold paths only).
+//   * Instruments are identified by name and shared: every Rmp instance in
+//     the process increments the same ftmp_rmp_* counters, so a snapshot
+//     aggregates a whole simulated fleet (exactly what the benches report).
+//   * Zero cost when disabled. Building with FTMP_METRICS=OFF (CMake)
+//     defines FTCORBA_METRICS_ENABLED=0 and every API below becomes an
+//     inline no-op; the registry implementation (metrics.cpp) compiles to an
+//     empty TU. tools/check_metrics_off.cmake asserts this with nm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+
+#ifndef FTCORBA_METRICS_ENABLED
+#define FTCORBA_METRICS_ENABLED 1
+#endif
+
+#if FTCORBA_METRICS_ENABLED
+#include <atomic>
+#endif
+
+namespace ftcorba::metrics {
+
+/// Instrument kinds, Prometheus-compatible.
+enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Trace-event kinds. The first six mirror the ftmp::Event variants
+/// (ftmp/events.hpp) one for one; the rest mark protocol-internal moments
+/// the upward event stream cannot see.
+enum class TraceKind : std::uint8_t {
+  kDelivered = 0,          ///< DeliveredMessage: a = source id, b = seq
+  kMembershipChanged,      ///< MembershipChanged: a = member count, b = reason
+  kFaultReport,            ///< FaultReport: a = convicted id
+  kSelfEvicted,            ///< SelfEvicted
+  kConnectionEstablished,  ///< ConnectionEstablished: a = bound group id
+  kConnectionRequested,    ///< ConnectionRequested: a = client processors
+  kNackSent,               ///< RMP RetransmitRequest out: a = missing-from, b = start seq
+  kRetransmitServed,       ///< RMP retransmission out: a = bytes
+  kHeartbeatSent,          ///< idle Heartbeat multicast
+  kSuspectSent,            ///< PGMP Suspect multicast: a = suspect count
+  kMembershipSent,         ///< PGMP Membership proposal multicast: a = proposal size
+};
+
+[[nodiscard]] inline const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kDelivered: return "delivered";
+    case TraceKind::kMembershipChanged: return "membership_changed";
+    case TraceKind::kFaultReport: return "fault_report";
+    case TraceKind::kSelfEvicted: return "self_evicted";
+    case TraceKind::kConnectionEstablished: return "connection_established";
+    case TraceKind::kConnectionRequested: return "connection_requested";
+    case TraceKind::kNackSent: return "nack_sent";
+    case TraceKind::kRetransmitServed: return "retransmit_served";
+    case TraceKind::kHeartbeatSent: return "heartbeat_sent";
+    case TraceKind::kSuspectSent: return "suspect_sent";
+    case TraceKind::kMembershipSent: return "membership_sent";
+  }
+  return "?";
+}
+
+/// One structured trace record (16 + 2*8 bytes of payload words; the a/b
+/// meanings per kind are listed above).
+struct TraceEvent {
+  TimePoint at = 0;
+  std::uint32_t processor = 0;
+  std::uint32_t group = 0;
+  TraceKind kind{};
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// One instrument's value as captured by snapshot(). For histograms,
+/// `buckets[i]` counts observations in (bounds[i-1], bounds[i]] and
+/// buckets.back() counts the overflow (+Inf) bucket, so
+/// buckets.size() == bounds.size() + 1 and count == sum of buckets.
+struct Sample {
+  std::string name;
+  std::string help;
+  std::string unit;
+  std::string layer;
+  Type type{};
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Default fixed bucket boundaries for latency histograms, in milliseconds.
+[[nodiscard]] inline std::vector<double> latency_buckets_ms() {
+  return {0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 5000};
+}
+
+/// Default boundaries for Lamport-timestamp-gap histograms (unit: timestamp
+/// ticks with Lamport clocks, nanoseconds with synchronized clocks).
+[[nodiscard]] inline std::vector<double> timestamp_gap_buckets() {
+  return {1, 2, 5, 10, 25, 50, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+}
+
+#if FTCORBA_METRICS_ENABLED
+
+namespace detail {
+struct CounterCell {
+  std::atomic<std::uint64_t> v{0};
+};
+struct GaugeCell {
+  std::atomic<std::int64_t> v{0};
+};
+struct HistogramCell {
+  explicit HistogramCell(std::vector<double> b)
+      : bounds(std::move(b)), buckets(bounds.size() + 1) {}
+  const std::vector<double> bounds;              // ascending upper bounds
+  std::vector<std::atomic<std::uint64_t>> buckets;  // bounds.size() + 1 (+Inf)
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+};
+}  // namespace detail
+
+/// Value-type handle to a registered counter; cheap to copy, never owns.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  explicit CounterHandle(detail::CounterCell* c) : c_(c) {}
+  void add(std::uint64_t n = 1) {
+    if (c_) c_->v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return c_ ? c_->v.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  detail::CounterCell* c_ = nullptr;
+};
+
+/// Value-type handle to a registered gauge. Gauges are process-wide
+/// aggregates: instances contribute deltas via add() (or set() when there
+/// is a single writer).
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  explicit GaugeHandle(detail::GaugeCell* g) : g_(g) {}
+  void add(std::int64_t delta) {
+    if (g_) g_->v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(std::int64_t v) {
+    if (g_) g_->v.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return g_ ? g_->v.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  detail::GaugeCell* g_ = nullptr;
+};
+
+/// Value-type handle to a registered fixed-bucket histogram.
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  explicit HistogramHandle(detail::HistogramCell* h) : h_(h) {}
+  void observe(double v) {
+    if (!h_) return;
+    std::size_t i = 0;
+    while (i < h_->bounds.size() && v > h_->bounds[i]) ++i;
+    h_->buckets[i].fetch_add(1, std::memory_order_relaxed);
+    h_->count.fetch_add(1, std::memory_order_relaxed);
+    h_->sum.fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return h_ ? h_->count.load(std::memory_order_relaxed) : 0;
+  }
+  [[nodiscard]] double sum() const {
+    return h_ ? h_->sum.load(std::memory_order_relaxed) : 0.0;
+  }
+
+ private:
+  detail::HistogramCell* h_ = nullptr;
+};
+
+/// Registers (or finds) a counter. Re-registering an existing name returns
+/// a handle to the same instrument; a name already registered under a
+/// different type yields an inert handle (never crashes a hot path).
+CounterHandle counter(std::string_view name, std::string_view help,
+                      std::string_view unit, std::string_view layer);
+GaugeHandle gauge(std::string_view name, std::string_view help,
+                  std::string_view unit, std::string_view layer);
+HistogramHandle histogram(std::string_view name, std::string_view help,
+                          std::string_view unit, std::string_view layer,
+                          std::vector<double> bounds);
+
+/// Zeroes every registered instrument (instruments stay registered; handles
+/// stay valid). Benches call this between workload rows.
+void reset_all();
+
+/// Consistent point-in-time copy of every registered instrument, in
+/// registration order.
+[[nodiscard]] std::vector<Sample> snapshot();
+
+/// Prometheus text exposition format (HELP/TYPE + values, histograms with
+/// cumulative le="..." buckets).
+[[nodiscard]] std::string render_prometheus();
+
+/// JSON array of instrument objects (one per Sample).
+[[nodiscard]] std::string render_json();
+
+/// Appends a structured event to the global trace ring (fixed capacity;
+/// oldest entries are overwritten).
+void trace(const TraceEvent& e);
+
+/// The retained trace events, oldest first.
+[[nodiscard]] std::vector<TraceEvent> trace_events();
+
+/// Discards all retained trace events.
+void trace_clear();
+
+/// JSON array of the retained trace events.
+[[nodiscard]] std::string render_trace_json();
+
+#else  // !FTCORBA_METRICS_ENABLED — inline no-op stubs, same API surface.
+
+class CounterHandle {
+ public:
+  void add(std::uint64_t = 1) {}
+  [[nodiscard]] std::uint64_t value() const { return 0; }
+};
+
+class GaugeHandle {
+ public:
+  void add(std::int64_t) {}
+  void set(std::int64_t) {}
+  [[nodiscard]] std::int64_t value() const { return 0; }
+};
+
+class HistogramHandle {
+ public:
+  void observe(double) {}
+  [[nodiscard]] std::uint64_t count() const { return 0; }
+  [[nodiscard]] double sum() const { return 0.0; }
+};
+
+inline CounterHandle counter(std::string_view, std::string_view,
+                             std::string_view, std::string_view) {
+  return {};
+}
+inline GaugeHandle gauge(std::string_view, std::string_view, std::string_view,
+                         std::string_view) {
+  return {};
+}
+inline HistogramHandle histogram(std::string_view, std::string_view,
+                                 std::string_view, std::string_view,
+                                 std::vector<double>) {
+  return {};
+}
+inline void reset_all() {}
+[[nodiscard]] inline std::vector<Sample> snapshot() { return {}; }
+[[nodiscard]] inline std::string render_prometheus() { return {}; }
+[[nodiscard]] inline std::string render_json() { return {}; }
+inline void trace(const TraceEvent&) {}
+[[nodiscard]] inline std::vector<TraceEvent> trace_events() { return {}; }
+inline void trace_clear() {}
+[[nodiscard]] inline std::string render_trace_json() { return {}; }
+
+#endif  // FTCORBA_METRICS_ENABLED
+
+}  // namespace ftcorba::metrics

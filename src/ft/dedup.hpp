@@ -11,6 +11,7 @@
 #include <set>
 
 #include "common/ids.hpp"
+#include "common/metrics.hpp"
 
 namespace ftcorba::ft {
 
@@ -29,15 +30,27 @@ struct DedupStats {
 /// monotonically increasing over a connection, §4).
 class DuplicateSuppressor {
  public:
+  DuplicateSuppressor()
+      : accepted_(metrics::counter(
+            "ft_dedup_accepted_total",
+            "First copies accepted by duplicate suppression", "messages",
+            "giop")),
+        suppressed_(metrics::counter(
+            "ft_dedup_suppressed_total",
+            "Replica copies discarded by duplicate suppression", "messages",
+            "giop")) {}
+
   /// Returns true exactly once per ⟨connection, request_num, kind⟩.
   bool accept(const ConnectionId& connection, RequestNum request_num, MessageKind kind) {
     auto& seen = seen_[connection];
     const std::uint64_t key = (request_num << 1) | static_cast<std::uint64_t>(kind);
     if (request_num < low_water_[connection] || !seen.insert(key).second) {
       stats_.suppressed += 1;
+      suppressed_.add();
       return false;
     }
     stats_.accepted += 1;
+    accepted_.add();
     return true;
   }
 
@@ -73,6 +86,8 @@ class DuplicateSuppressor {
   std::map<ConnectionId, std::set<std::uint64_t>> seen_;
   std::map<ConnectionId, RequestNum> low_water_;
   DedupStats stats_;
+  metrics::CounterHandle accepted_;
+  metrics::CounterHandle suppressed_;
 };
 
 }  // namespace ftcorba::ft

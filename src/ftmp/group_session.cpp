@@ -17,7 +17,25 @@ GroupSession::GroupSession(ProcessorId self, ProcessorGroupId group,
       outbox_(outbox),
       rmp_(self, config),
       romp_(self, config),
-      pgmp_(self, config, rmp_, romp_) {}
+      pgmp_(self, config, rmp_, romp_) {
+  heartbeats_sent_ = metrics::counter(
+      "ftmp_rmp_heartbeats_sent_total",
+      "Heartbeat messages multicast when nothing else was sent within the "
+      "heartbeat interval",
+      "messages", "rmp");
+}
+
+void GroupSession::trace(TimePoint now, metrics::TraceKind kind, std::uint64_t a,
+                         std::uint64_t b) const {
+  metrics::TraceEvent e;
+  e.at = now;
+  e.processor = self_.raw();
+  e.group = group_.raw();
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  metrics::trace(e);
+}
 
 void GroupSession::bootstrap(TimePoint now, const std::vector<ProcessorId>& members) {
   pgmp_.bootstrap(now, members);
@@ -226,7 +244,7 @@ void GroupSession::handle(TimePoint now, const Message& msg, BytesView raw) {
 }
 
 void GroupSession::route_source_ordered(TimePoint now, const Message& msg) {
-  romp_.on_source_ordered(msg);
+  romp_.on_source_ordered(msg, now);
   // Suspect and Membership are "Reliable: yes, Totally Ordered: no"
   // (Fig. 3): they reach PGMP straight from the source-ordered stream.
   if (msg.header.type == MessageType::kSuspect) {
@@ -281,12 +299,14 @@ void GroupSession::deliver_ordered(TimePoint now, const Message& msg) {
 
 void GroupSession::apply_rmp_out(TimePoint now, RmpOut&& out) {
   if (auto* nack = std::get_if<NackOut>(&out)) {
+    trace(now, metrics::TraceKind::kNackSent, nack->missing_from.raw(), nack->start);
     RetransmitRequestBody body;
     body.processor = nack->missing_from;
     body.start_seq = nack->start;
     body.stop_seq = nack->stop;
     send_message(now, std::move(body), group_addr_);
   } else if (auto* rt = std::get_if<RetransmitOut>(&out)) {
+    trace(now, metrics::TraceKind::kRetransmitServed, rt->raw.size());
     // During an address rebind, laggards still listening on the old
     // address must be able to recover: retransmit on both.
     if (old_addr_) {
@@ -329,6 +349,11 @@ void GroupSession::emit_install(TimePoint now, InstallOut&& install) {
 
 void GroupSession::apply_pgmp_out(TimePoint now, PgmpOut&& out) {
   if (auto* send = std::get_if<SendBodyOut>(&out)) {
+    if (const auto* s = std::get_if<SuspectBody>(&send->body)) {
+      trace(now, metrics::TraceKind::kSuspectSent, s->suspects.size());
+    } else if (const auto* m = std::get_if<MembershipBody>(&send->body)) {
+      trace(now, metrics::TraceKind::kMembershipSent, m->new_membership.size());
+    }
     send_message(now, std::move(send->body), group_addr_);
   } else if (auto* resend = std::get_if<ResendStoredOut>(&out)) {
     resend_stored(resend->source, resend->seq);
@@ -341,7 +366,7 @@ void GroupSession::pump(TimePoint now) {
   bool progress = true;
   while (progress) {
     progress = false;
-    for (Message& m : romp_.collect_deliverable()) {
+    for (Message& m : romp_.collect_deliverable(now)) {
       deliver_ordered(now, m);
       progress = true;
     }
@@ -368,6 +393,8 @@ void GroupSession::tick(TimePoint now) {
     // yet ordered our removal can keep ordering.
     if (lame_duck(now) && rmp_.heartbeat_due(now)) {
       send_message(now, HeartbeatBody{}, group_addr_);
+      heartbeats_sent_.add();
+      trace(now, metrics::TraceKind::kHeartbeatSent);
     }
     return;
   }
@@ -375,6 +402,8 @@ void GroupSession::tick(TimePoint now) {
   rmp_.on_tick(now);
   if (rmp_.heartbeat_due(now)) {
     send_message(now, HeartbeatBody{}, group_addr_);
+    heartbeats_sent_.add();
+    trace(now, metrics::TraceKind::kHeartbeatSent);
     // While the old address is retiring, members that have not yet ordered
     // the rebind Connect still need fresh timestamps to make it
     // deliverable — heartbeat on both addresses.

@@ -142,6 +142,11 @@ class GroupSession {
   void begin_rebind(TimePoint now, const Message& connect_msg);
   void progress_flush(TimePoint now);
 
+  /// Records a protocol-internal trace event tagged with this session's
+  /// processor and group (no-op when metrics are compiled out).
+  void trace(TimePoint now, metrics::TraceKind kind, std::uint64_t a = 0,
+             std::uint64_t b = 0) const;
+
   ProcessorId self_;
   ProcessorGroupId group_;
   McastAddress group_addr_;
@@ -178,6 +183,10 @@ class GroupSession {
 
   // When this member was evicted (lame-duck bookkeeping).
   std::optional<TimePoint> deactivated_at_;
+
+  // Process-global heartbeat counter (the other layers own their own
+  // instruments; heartbeats are emitted here, see docs/METRICS.md).
+  metrics::CounterHandle heartbeats_sent_;
 };
 
 }  // namespace ftcorba::ftmp

@@ -28,7 +28,47 @@ namespace {
 }  // namespace
 
 Pgmp::Pgmp(ProcessorId self, const Config& config, Rmp& rmp, Romp& romp)
-    : self_(self), config_(config), rmp_(rmp), romp_(romp) {}
+    : self_(self), config_(config), rmp_(rmp), romp_(romp) {
+  metrics_.suspicions = metrics::counter(
+      "ftmp_pgmp_suspicions_total",
+      "Fault-detector suspicions raised (member silent past fault_timeout)",
+      "suspicions", "pgmp");
+  metrics_.suspect_msgs = metrics::counter(
+      "ftmp_pgmp_suspect_msgs_sent_total",
+      "Suspect messages multicast (new suspicions and withdrawals)", "messages",
+      "pgmp");
+  metrics_.membership_msgs = metrics::counter(
+      "ftmp_pgmp_membership_msgs_sent_total",
+      "Membership proposals multicast during fault-recovery rounds", "messages",
+      "pgmp");
+  metrics_.convictions = metrics::counter(
+      "ftmp_pgmp_convictions_total",
+      "Members convicted (excluded by a completed fault-recovery round)",
+      "members", "pgmp");
+  metrics_.equalization_rounds = metrics::counter(
+      "ftmp_pgmp_equalization_rounds_total",
+      "Fault-recovery rounds that needed NACK message-set equalization before "
+      "the virtually synchronous cut",
+      "rounds", "pgmp");
+  metrics_.recoveries = metrics::counter(
+      "ftmp_pgmp_recoveries_completed_total",
+      "Fault-driven membership changes installed", "recoveries", "pgmp");
+  metrics_.adds = metrics::counter(
+      "ftmp_pgmp_adds_completed_total",
+      "AddProcessor changes applied at their ordering point", "members", "pgmp");
+  metrics_.removes = metrics::counter(
+      "ftmp_pgmp_removes_completed_total",
+      "RemoveProcessor changes applied at their ordering point", "members",
+      "pgmp");
+  metrics_.install_duration_ms = metrics::histogram(
+      "ftmp_pgmp_membership_install_duration_ms",
+      "Fault recovery: first conviction to virtually synchronous install",
+      "ms", "pgmp", metrics::latency_buckets_ms());
+  metrics_.add_install_ms = metrics::histogram(
+      "ftmp_pgmp_add_install_duration_ms",
+      "Sponsor-side AddProcessor latency: multicast to ordering point", "ms",
+      "pgmp", metrics::latency_buckets_ms());
+}
 
 void Pgmp::bootstrap(TimePoint now, const std::vector<ProcessorId>& members) {
   membership_.timestamp = 0;
@@ -94,6 +134,7 @@ void Pgmp::note_heard(ProcessorId src, TimePoint now) {
     body.suspects.assign(my_suspects_.begin(), my_suspects_.end());
     output_.emplace_back(SendBodyOut{std::move(body), /*reliable=*/true});
     stats_.suspects_sent += 1;
+    metrics_.suspect_msgs.add();
   }
 }
 
@@ -134,7 +175,10 @@ void Pgmp::note_add_sent(ProcessorId member, TimePoint now,
 void Pgmp::on_add_ordered(TimePoint now, const Message& msg) {
   const auto& body = std::get<AddProcessorBody>(msg.body);
   const ProcessorId member = body.new_member;
-  adds_in_flight_.erase(member);
+  if (auto af = adds_in_flight_.find(member); af != adds_in_flight_.end()) {
+    metrics_.add_install_ms.observe(to_ms(now - af->second));
+    adds_in_flight_.erase(af);
+  }
   if (contains(membership_.members, member)) return;  // duplicate / self-join
   membership_.members = sorted([&] {
     auto ms = membership_.members;
@@ -165,6 +209,7 @@ void Pgmp::on_add_ordered(TimePoint now, const Message& msg) {
                   << " seq=" << msg.header.sequence_number
                   << " src=" << to_string(msg.header.source);
   stats_.adds_completed += 1;
+  metrics_.adds.add();
   if (msg.header.source == self_) {
     // We are the sponsor: keep re-multicasting the ordered AddProcessor
     // until the new member speaks (it cannot NACK before it has joined, §5).
@@ -188,6 +233,7 @@ void Pgmp::on_remove_ordered(TimePoint now, const Message& msg) {
       membership_.members.end());
   membership_.timestamp = std::max(membership_.timestamp, msg.header.message_timestamp);
   stats_.removes_completed += 1;
+  metrics_.removes.add();
   InstallOut install;
   install.change.reason = MembershipChanged::Reason::kProcessorRemoved;
   install.change.left = {member};
@@ -309,6 +355,7 @@ void Pgmp::recompute_convicted(TimePoint now) {
     c = std::move(next);
   }
   if (c != convicted_) {
+    if (convicted_.empty() && !c.empty() && !round_started_) round_started_ = now;
     convicted_ = std::move(c);
     maybe_send_membership(now);
   }
@@ -346,6 +393,7 @@ void Pgmp::maybe_send_membership(TimePoint now) {
   body.new_membership = p;
   output_.emplace_back(SendBodyOut{std::move(body), /*reliable=*/true});
   stats_.membership_msgs_sent += 1;
+  metrics_.membership_msgs.add();
 }
 
 SeqNum Pgmp::own_contiguous(ProcessorId m) const {
@@ -384,7 +432,13 @@ void Pgmp::try_complete(TimePoint now) {
       complete = false;
     }
   }
-  if (!complete) return;  // NACK recovery in flight; retried from tick()
+  if (!complete) {
+    if (!equalization_counted_) {
+      equalization_counted_ = true;
+      metrics_.equalization_rounds.add();
+    }
+    return;  // NACK recovery in flight; retried from tick()
+  }
 
   // Deliver the old-epoch remainder and install the new membership.
   const std::set<ProcessorId> survivors(p.begin(), p.end());
@@ -408,12 +462,17 @@ void Pgmp::try_complete(TimePoint now) {
   membership_.members = p;
   membership_.timestamp = new_ts;
   for (ProcessorId r : p) round_floor_[r] = proposals_[r].msg_seq;
+  metrics_.convictions.add(crashed.size());
+  if (round_started_) {
+    metrics_.install_duration_ms.observe(to_ms(now - *round_started_));
+  }
   reset_round_state();
 
   install.change.reason = MembershipChanged::Reason::kFault;
   install.change.membership = membership_;
   install.change.left = crashed;
   stats_.recoveries_completed += 1;
+  metrics_.recoveries.add();
   output_.emplace_back(std::move(install));
 }
 
@@ -430,6 +489,7 @@ void Pgmp::refresh_suspicions_after_change() {
   body.suspects.assign(my_suspects_.begin(), my_suspects_.end());
   output_.emplace_back(SendBodyOut{std::move(body), /*reliable=*/true});
   stats_.suspects_sent += 1;
+  metrics_.suspect_msgs.add();
 }
 
 void Pgmp::reset_round_state() {
@@ -439,6 +499,8 @@ void Pgmp::reset_round_state() {
   my_last_proposal_.clear();
   my_suspects_.clear();
   suspects_since_.reset();
+  round_started_.reset();
+  equalization_counted_ = false;
 }
 
 void Pgmp::tick(TimePoint now) {
@@ -451,6 +513,7 @@ void Pgmp::tick(TimePoint now) {
     const TimePoint heard = it == last_heard_.end() ? 0 : it->second;
     if (now - heard > config_.fault_timeout) {
       my_suspects_.insert(m);
+      metrics_.suspicions.add();
       suspects_changed = true;
     }
   }
@@ -460,6 +523,7 @@ void Pgmp::tick(TimePoint now) {
     body.suspects.assign(my_suspects_.begin(), my_suspects_.end());
     output_.emplace_back(SendBodyOut{std::move(body), /*reliable=*/true});
     stats_.suspects_sent += 1;
+    metrics_.suspect_msgs.add();
   }
   if (my_suspects_.empty()) {
     suspects_since_.reset();

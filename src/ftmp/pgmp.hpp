@@ -45,6 +45,7 @@
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "common/metrics.hpp"
 #include "ftmp/config.hpp"
 #include "ftmp/events.hpp"
 #include "ftmp/messages.hpp"
@@ -191,6 +192,20 @@ class Pgmp {
     TimePoint last_resend = 0;
   };
 
+  // Process-global instruments shared by every Pgmp instance (docs/METRICS.md).
+  struct Instruments {
+    metrics::CounterHandle suspicions;
+    metrics::CounterHandle suspect_msgs;
+    metrics::CounterHandle membership_msgs;
+    metrics::CounterHandle convictions;
+    metrics::CounterHandle equalization_rounds;
+    metrics::CounterHandle recoveries;
+    metrics::CounterHandle adds;
+    metrics::CounterHandle removes;
+    metrics::HistogramHandle install_duration_ms;
+    metrics::HistogramHandle add_install_ms;
+  };
+
   void recompute_convicted(TimePoint now);
   void refresh_suspicions_after_change();
   void maybe_send_membership(TimePoint now);
@@ -224,6 +239,11 @@ class Pgmp {
   std::unordered_map<ProcessorId, SeqNum> round_floor_;
   std::set<ProcessorId> convicted_;
   std::vector<ProcessorId> my_last_proposal_;
+  // When the current fault-recovery round opened (first conviction), for
+  // the membership-install-duration histogram.
+  std::optional<TimePoint> round_started_;
+  // Whether this round has been counted as needing message-set equalization.
+  bool equalization_counted_ = false;
 
   // Sponsor-side pending joins.
   std::vector<PendingJoin> pending_joins_;
@@ -236,6 +256,7 @@ class Pgmp {
 
   std::vector<PgmpOut> output_;
   PgmpStats stats_;
+  Instruments metrics_;
 };
 
 }  // namespace ftcorba::ftmp

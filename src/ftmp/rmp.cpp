@@ -17,7 +17,51 @@ constexpr std::size_t kMaxRetransmitBurst = 64;
 constexpr std::size_t kMaxNackRunsPerTick = 16;
 }  // namespace
 
-Rmp::Rmp(ProcessorId self, const Config& config) : self_(self), config_(config) {}
+Rmp::Rmp(ProcessorId self, const Config& config) : self_(self), config_(config) {
+  metrics_.delivered = metrics::counter(
+      "ftmp_rmp_delivered_in_order_total",
+      "Reliable messages delivered to ROMP in source order", "messages", "rmp");
+  metrics_.duplicates = metrics::counter(
+      "ftmp_rmp_duplicates_ignored_total",
+      "Reliable messages discarded as duplicates (already contiguous or buffered)",
+      "messages", "rmp");
+  metrics_.nacks_sent = metrics::counter(
+      "ftmp_rmp_retransmit_requests_sent_total",
+      "RetransmitRequest (NACK) blocks multicast for detected gaps", "requests",
+      "rmp");
+  metrics_.retransmits_served = metrics::counter(
+      "ftmp_rmp_retransmit_requests_served_total",
+      "Stored messages re-multicast in answer to RetransmitRequests", "messages",
+      "rmp");
+  metrics_.dropped_unknown = metrics::counter(
+      "ftmp_rmp_dropped_unknown_source_total",
+      "Reliable messages dropped because the source is not a tracked member",
+      "messages", "rmp");
+  metrics_.dropped_stale = metrics::counter(
+      "ftmp_rmp_dropped_stale_incarnation_total",
+      "Reliable messages dropped by the incarnation timestamp floor", "messages",
+      "rmp");
+  metrics_.store_bytes = metrics::gauge(
+      "ftmp_rmp_store_bytes", "Bytes held in the retransmission store", "bytes",
+      "rmp");
+  metrics_.out_of_order = metrics::gauge(
+      "ftmp_rmp_out_of_order_messages",
+      "Messages buffered out of order awaiting gap fill", "messages", "rmp");
+  metrics_.gap_repair_ms = metrics::histogram(
+      "ftmp_rmp_gap_repair_ms",
+      "Gap-detection-to-repair latency: open gap first observed until the "
+      "stream is contiguous again",
+      "ms", "rmp", metrics::latency_buckets_ms());
+}
+
+void Rmp::update_gap_state(TimePoint now, SourceState& st) {
+  if (st.contiguous < st.highest_seen) {
+    if (st.gap_open_since < 0) st.gap_open_since = now;
+  } else if (st.gap_open_since >= 0) {
+    metrics_.gap_repair_ms.observe(to_ms(now - st.gap_open_since));
+    st.gap_open_since = -1;
+  }
+}
 
 void Rmp::add_source(ProcessorId src, SeqNum expect_after, Timestamp min_timestamp) {
   SourceState st;
@@ -27,12 +71,18 @@ void Rmp::add_source(ProcessorId src, SeqNum expect_after, Timestamp min_timesta
   sources_.insert_or_assign(src, std::move(st));
 }
 
-void Rmp::remove_source(ProcessorId src) { sources_.erase(src); }
+void Rmp::remove_source(ProcessorId src) {
+  auto it = sources_.find(src);
+  if (it == sources_.end()) return;
+  metrics_.out_of_order.add(-static_cast<std::int64_t>(it->second.out_of_order.size()));
+  sources_.erase(it);
+}
 
 void Rmp::purge_store(ProcessorId src) {
   auto it = store_.lower_bound({src.raw(), 0});
   while (it != store_.end() && it->first.first == src.raw()) {
     stored_bytes_ -= it->second.size();
+    metrics_.store_bytes.add(-static_cast<std::int64_t>(it->second.size()));
     it = store_.erase(it);
   }
   auto rt = last_retransmit_.lower_bound({src.raw(), 0});
@@ -76,6 +126,7 @@ void Rmp::store(ProcessorId src, SeqNum seq, BytesView raw) {
   // retransmissions", §3.2).
   if (copy.size() > kRetransFlagOffset) copy[kRetransFlagOffset] = 1;
   stored_bytes_ += copy.size();
+  metrics_.store_bytes.add(static_cast<std::int64_t>(copy.size()));
   store_.emplace(key, std::move(copy));
 }
 
@@ -85,6 +136,7 @@ std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw)
   auto it = sources_.find(src);
   if (it == sources_.end()) {
     stats_.dropped_unknown_source += 1;
+    metrics_.dropped_unknown.add();
     return {};
   }
   SourceState& st = it->second;
@@ -94,10 +146,12 @@ std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw)
     // retransmission served by a member that has not yet processed the
     // re-add): poisonous if accepted into the fresh stream.
     stats_.dropped_stale_incarnation += 1;
+    metrics_.dropped_stale.add();
     return {};
   }
   if (seq <= st.contiguous || st.out_of_order.contains(seq)) {
     stats_.duplicates_ignored += 1;
+    metrics_.duplicates.add();
     return {};
   }
 
@@ -116,15 +170,19 @@ std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw)
       stats_.delivered_in_order += 1;
       deliver.push_back(std::move(next->second));
       st.out_of_order.erase(next);
+      metrics_.out_of_order.add(-1);
       next = st.out_of_order.find(st.contiguous + 1);
     }
   } else {
     if (config_.max_out_of_order_buffer == 0 ||
         st.out_of_order.size() < config_.max_out_of_order_buffer) {
       st.out_of_order.emplace(seq, std::move(msg));
+      metrics_.out_of_order.add(1);
     }
     queue_nacks(now, st, src);
   }
+  metrics_.delivered.add(deliver.size());
+  update_gap_state(now, st);
   return deliver;
 }
 
@@ -138,6 +196,7 @@ void Rmp::on_heartbeat(TimePoint now, const Header& header) {
   if (header.sequence_number > st.highest_seen) {
     st.highest_seen = header.sequence_number;
   }
+  update_gap_state(now, st);
   if (st.highest_seen > st.contiguous) queue_nacks(now, st, header.source);
 }
 
@@ -157,6 +216,7 @@ void Rmp::on_retransmit_request(TimePoint now, const RetransmitRequestBody& body
     last_retransmit_[key] = now;
     output_.emplace_back(RetransmitOut{it->second});
     stats_.retransmissions_sent += 1;
+    metrics_.retransmits_served.add();
     ++sent;
   }
 }
@@ -186,6 +246,7 @@ void Rmp::queue_nacks(TimePoint now, SourceState& st, ProcessorId src) {
     }
     output_.emplace_back(NackOut{src, cursor, run_end});
     stats_.nacks_sent += 1;
+    metrics_.nacks_sent.add();
     ++runs;
     cursor = run_end + 1;
   }
@@ -204,6 +265,7 @@ void Rmp::note_exists(TimePoint now, ProcessorId src, SeqNum seq) {
   if (it == sources_.end()) return;
   SourceState& st = it->second;
   if (seq > st.highest_seen) st.highest_seen = seq;
+  update_gap_state(now, st);
   if (st.highest_seen > st.contiguous) queue_nacks(now, st, src);
 }
 
@@ -233,6 +295,7 @@ void Rmp::release(ProcessorId src, SeqNum up_to) {
   auto it = store_.lower_bound({src.raw(), 0});
   while (it != store_.end() && it->first.first == src.raw() && it->first.second <= up_to) {
     stored_bytes_ -= it->second.size();
+    metrics_.store_bytes.add(-static_cast<std::int64_t>(it->second.size()));
     it = store_.erase(it);
   }
   auto rt = last_retransmit_.lower_bound({src.raw(), 0});

@@ -19,6 +19,7 @@
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "common/metrics.hpp"
 #include "ftmp/config.hpp"
 #include "ftmp/messages.hpp"
 
@@ -188,7 +189,23 @@ class Rmp {
     Timestamp min_timestamp = 0;  // incarnation floor (see add_source)
     std::map<SeqNum, Message> out_of_order;
     TimePoint last_nack = -1'000'000'000;
+    TimePoint gap_open_since = -1;  // when the oldest open gap was detected
   };
+
+  // Process-global instruments shared by every Rmp instance (docs/METRICS.md).
+  struct Instruments {
+    metrics::CounterHandle delivered;
+    metrics::CounterHandle duplicates;
+    metrics::CounterHandle nacks_sent;
+    metrics::CounterHandle retransmits_served;
+    metrics::CounterHandle dropped_unknown;
+    metrics::CounterHandle dropped_stale;
+    metrics::GaugeHandle store_bytes;
+    metrics::GaugeHandle out_of_order;
+    metrics::HistogramHandle gap_repair_ms;
+  };
+
+  void update_gap_state(TimePoint now, SourceState& st);
 
   void detect_gaps(TimePoint now, SourceState& st, ProcessorId src);
   void queue_nacks(TimePoint now, SourceState& st, ProcessorId src);
@@ -207,6 +224,7 @@ class Rmp {
   std::size_t stored_bytes_ = 0;
   std::vector<RmpOut> output_;
   RmpStats stats_;
+  Instruments metrics_;
 };
 
 }  // namespace ftcorba::ftmp

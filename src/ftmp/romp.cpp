@@ -35,7 +35,35 @@ bool is_reliable(MessageType t) {
 Romp::Romp(ProcessorId self, const Config& config)
     : self_(self),
       config_(config),
-      clock_(config.clock_mode, config.clock_skew) {}
+      clock_(config.clock_mode, config.clock_skew) {
+  metrics_.ordered_delivered = metrics::counter(
+      "ftmp_romp_ordered_delivered_total",
+      "Messages delivered upward in total (timestamp, source) order",
+      "messages", "romp");
+  metrics_.stability_releases = metrics::counter(
+      "ftmp_romp_stability_releases_total",
+      "Per-source release notices issued to RMP when messages became stable",
+      "releases", "romp");
+  metrics_.pending = metrics::gauge(
+      "ftmp_romp_pending_messages",
+      "Messages buffered awaiting total-order delivery", "messages", "romp");
+  metrics_.ordering_wait_ms = metrics::histogram(
+      "ftmp_romp_ordering_wait_ms",
+      "Wall-clock wait from source-ordered arrival to total-order delivery",
+      "ms", "romp", metrics::latency_buckets_ms());
+  metrics_.stability_lag = metrics::histogram(
+      "ftmp_romp_stability_lag_ts",
+      "Delivered-vs-stable gap: message timestamp minus the stable timestamp "
+      "at delivery (buffer-reclaim lag, paper section 6)",
+      "timestamp", "romp", metrics::timestamp_gap_buckets());
+}
+
+void Romp::erase_pending(
+    std::map<std::pair<Timestamp, std::uint32_t>, Message>::iterator it) {
+  pending_arrival_.erase(it->first);
+  pending_.erase(it);
+  metrics_.pending.add(-1);
+}
 
 void Romp::set_members(const std::vector<ProcessorId>& members) {
   members_.clear();
@@ -56,7 +84,8 @@ void Romp::remove_member(ProcessorId member, bool drop_pending) {
   if (drop_pending) {
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (it->second.header.source == member) {
-        it = pending_.erase(it);
+        auto victim = it++;
+        erase_pending(victim);
       } else {
         ++it;
       }
@@ -96,14 +125,18 @@ void Romp::observe_header(const Header& h) {
   ack = std::max(ack, h.ack_timestamp);
 }
 
-void Romp::on_source_ordered(const Message& msg) {
+void Romp::on_source_ordered(const Message& msg, TimePoint now) {
   const Header& h = msg.header;
   observe_header(h);
   Timestamp& b = bounds_[h.source];
   b = std::max(b, h.message_timestamp);
   unstable_[h.source][h.message_timestamp] = h.sequence_number;
   if (is_totally_ordered(h.type)) {
-    pending_.emplace(std::make_pair(h.message_timestamp, h.source.raw()), msg);
+    const auto key = std::make_pair(h.message_timestamp, h.source.raw());
+    if (pending_.emplace(key, msg).second) {
+      pending_arrival_.emplace(key, now);
+      metrics_.pending.add(1);
+    }
     stats_.pending_peak = std::max<std::uint64_t>(stats_.pending_peak, pending_.size());
   } else {
     // Suspect/Membership: consumed by PGMP right away (Fig. 3: reliable,
@@ -140,7 +173,7 @@ void Romp::on_heartbeat(const Header& header, SeqNum contiguous_seq) {
   }
 }
 
-std::vector<Message> Romp::collect_deliverable() {
+std::vector<Message> Romp::collect_deliverable(TimePoint now) {
   std::vector<Message> out;
   if (pending_.empty() || members_.empty()) return out;
   // min over members of bound; any member never heard from stalls delivery
@@ -148,15 +181,25 @@ std::vector<Message> Romp::collect_deliverable() {
   // faulty processors are removed" behaviour of §7.
   Timestamp min_bound = ~Timestamp{0};
   for (ProcessorId q : members_) min_bound = std::min(min_bound, bound(q));
+  const Timestamp stable = stable_timestamp();
   while (!pending_.empty() && pending_.begin()->first.first <= min_bound) {
     Message& m = pending_.begin()->second;
     SeqNum& lo = last_ordered_[m.header.source];
     lo = std::max(lo, m.header.sequence_number);
     mark_consumed(m.header.source, m.header.sequence_number);
     const MessageType type = m.header.type;
+    const Timestamp ts = m.header.message_timestamp;
+    if (now > 0) {
+      const auto arr = pending_arrival_.find(pending_.begin()->first);
+      if (arr != pending_arrival_.end() && arr->second > 0) {
+        metrics_.ordering_wait_ms.observe(to_ms(now - arr->second));
+      }
+    }
+    metrics_.stability_lag.observe(ts > stable ? double(ts - stable) : 0.0);
     out.push_back(std::move(m));
-    pending_.erase(pending_.begin());
+    erase_pending(pending_.begin());
     stats_.ordered_delivered += 1;
+    metrics_.ordered_delivered.add();
     if (type != MessageType::kRegular) {
       // A membership-affecting message (AddProcessor / RemoveProcessor /
       // Connect): stop the batch here. min_bound was computed over the
@@ -197,6 +240,7 @@ std::vector<std::pair<ProcessorId, SeqNum>> Romp::collect_stable() {
     out.emplace_back(src, it->second);
     by_ts.erase(by_ts.begin(), std::next(it));
     stats_.stability_releases += 1;
+    metrics_.stability_releases.add();
   }
   return out;
 }
@@ -215,11 +259,14 @@ std::vector<Message> Romp::drain_up_to_cut(
       lo = std::max(lo, m.header.sequence_number);
       mark_consumed(src, m.header.sequence_number);
       out.push_back(std::move(it->second));
-      it = pending_.erase(it);
+      auto victim = it++;
+      erase_pending(victim);
       stats_.ordered_delivered += 1;
+      metrics_.ordered_delivered.add();
     } else if (!survivors.contains(src)) {
       // A non-survivor's message beyond the cut: nobody will deliver it.
-      it = pending_.erase(it);
+      auto victim = it++;
+      erase_pending(victim);
     } else {
       ++it;
     }

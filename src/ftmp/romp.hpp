@@ -30,6 +30,7 @@
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "common/metrics.hpp"
 #include "ftmp/config.hpp"
 #include "ftmp/messages.hpp"
 
@@ -98,7 +99,9 @@ class Romp {
   /// witnesses the timestamp, records ack knowledge, and — if the type is
   /// totally ordered (Regular, Connect, AddProcessor, RemoveProcessor,
   /// Fig. 3) — adds it to the pending set.
-  void on_source_ordered(const Message& msg);
+  /// `now` (when the caller has it) feeds the ordering-wait histogram; the
+  /// default keeps time-less unit-test call sites valid.
+  void on_source_ordered(const Message& msg, TimePoint now = 0);
 
   /// A Heartbeat header (unreliable direct delivery from RMP).
   /// `contiguous_seq` is RMP's contiguously-received sequence for the
@@ -110,7 +113,7 @@ class Romp {
 
   /// Pops every pending message that is now deliverable, in delivery
   /// (total) order.
-  [[nodiscard]] std::vector<Message> collect_deliverable();
+  [[nodiscard]] std::vector<Message> collect_deliverable(TimePoint now = 0);
 
   /// Number of messages awaiting order.
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
@@ -154,6 +157,16 @@ class Romp {
 
  private:
   void observe_header(const Header& h);
+  void erase_pending(std::map<std::pair<Timestamp, std::uint32_t>, Message>::iterator it);
+
+  // Process-global instruments shared by every Romp instance (docs/METRICS.md).
+  struct Instruments {
+    metrics::CounterHandle ordered_delivered;
+    metrics::CounterHandle stability_releases;
+    metrics::GaugeHandle pending;
+    metrics::HistogramHandle ordering_wait_ms;
+    metrics::HistogramHandle stability_lag;
+  };
 
   ProcessorId self_;
   Config config_;
@@ -163,6 +176,9 @@ class Romp {
   std::unordered_map<ProcessorId, Timestamp> last_acks_;
   // Pending totally-ordered messages, keyed by delivery order (ts, src).
   std::map<std::pair<Timestamp, std::uint32_t>, Message> pending_;
+  // Arrival wall-clock per pending key (0 when the caller had no time),
+  // feeding the ordering-wait histogram.
+  std::map<std::pair<Timestamp, std::uint32_t>, TimePoint> pending_arrival_;
   // Per source: timestamps of contiguously received reliable messages that
   // are not yet stable, mapping to their seq (for stability -> RMP release).
   std::unordered_map<ProcessorId, std::map<Timestamp, SeqNum>> unstable_;
@@ -175,6 +191,7 @@ class Romp {
   void mark_consumed(ProcessorId src, SeqNum seq);
   Timestamp last_stable_ = 0;
   RompStats stats_;
+  Instruments metrics_;
 };
 
 /// True for the message types Fig. 3 marks "Totally Ordered".

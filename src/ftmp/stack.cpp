@@ -10,6 +10,14 @@ namespace ftcorba::ftmp {
 Stack::Stack(ProcessorId self, FtDomainId domain, McastAddress domain_addr, Config config)
     : self_(self), domain_(domain), domain_addr_(domain_addr), config_(config) {
   subscriptions_.insert(domain_addr_.raw());
+  malformed_ = metrics::counter(
+      "ftmp_stack_malformed_datagrams_total",
+      "Datagrams dropped: not FTMP-framed or failed header/body decode",
+      "datagrams", "stack");
+  unroutable_ = metrics::counter(
+      "ftmp_stack_unroutable_datagrams_total",
+      "Well-formed datagrams with no session to route to", "datagrams",
+      "stack");
 }
 
 GroupSession& Stack::make_session(ProcessorGroupId g, McastAddress addr) {
@@ -225,6 +233,7 @@ void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
   last_now_ = std::max(last_now_, now);
   if (!looks_like_ftmp(datagram.payload)) {
     stats_.malformed_datagrams += 1;
+    malformed_.add();
     return;
   }
   Message msg;
@@ -232,6 +241,7 @@ void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
     msg = decode_message(datagram.payload);
   } catch (const CodecError& e) {
     stats_.malformed_datagrams += 1;
+    malformed_.add();
     FTC_LOG(kDebug) << to_string(self_) << ": dropping malformed datagram: " << e.what();
     return;
   }
@@ -260,6 +270,7 @@ void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
         // A retransmission of an AddProcessor from an earlier incarnation
         // of this processor's membership: ignore it, the fresh one follows.
         stats_.unroutable_datagrams += 1;
+        unroutable_.add();
       } else if (body.new_member == self_ && expected != expected_joins_.end()) {
         const McastAddress addr = expected->second;
         expected_joins_.erase(expected);
@@ -267,6 +278,7 @@ void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
             .init_from_add(now, msg, datagram.payload);
       } else {
         stats_.unroutable_datagrams += 1;
+        unroutable_.add();
       }
       break;
     }
@@ -275,6 +287,7 @@ void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
         s->handle(now, msg, datagram.payload);
       } else {
         stats_.unroutable_datagrams += 1;
+        unroutable_.add();
       }
       break;
     }
@@ -282,9 +295,48 @@ void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
   observe_events(now);
 }
 
+namespace {
+
+// Mirrors one upward event into the trace ring (ftmp::Event variants map
+// one for one onto the first six metrics::TraceKind values).
+void trace_event(TimePoint now, ProcessorId self, const Event& ev) {
+  metrics::TraceEvent t;
+  t.at = now;
+  t.processor = self.raw();
+  if (const auto* d = std::get_if<DeliveredMessage>(&ev)) {
+    t.kind = metrics::TraceKind::kDelivered;
+    t.group = d->group.raw();
+    t.a = d->source.raw();
+    t.b = d->seq;
+  } else if (const auto* m = std::get_if<MembershipChanged>(&ev)) {
+    t.kind = metrics::TraceKind::kMembershipChanged;
+    t.group = m->group.raw();
+    t.a = m->membership.members.size();
+    t.b = static_cast<std::uint64_t>(m->reason);
+  } else if (const auto* f = std::get_if<FaultReport>(&ev)) {
+    t.kind = metrics::TraceKind::kFaultReport;
+    t.group = f->group.raw();
+    t.a = f->convicted.raw();
+  } else if (const auto* s = std::get_if<SelfEvicted>(&ev)) {
+    t.kind = metrics::TraceKind::kSelfEvicted;
+    t.group = s->group.raw();
+  } else if (const auto* c = std::get_if<ConnectionEstablished>(&ev)) {
+    t.kind = metrics::TraceKind::kConnectionEstablished;
+    t.group = c->processor_group.raw();
+    t.a = c->multicast_address.raw();
+  } else if (const auto* r = std::get_if<ConnectionRequested>(&ev)) {
+    t.kind = metrics::TraceKind::kConnectionRequested;
+    t.a = r->client_processors.size();
+  }
+  metrics::trace(t);
+}
+
+}  // namespace
+
 void Stack::observe_events(TimePoint now) {
   for (std::size_t i = events_observed_; i < outbox_.events.size(); ++i) {
     const Event& ev = outbox_.events[i];
+    trace_event(now, self_, ev);
     if (const auto* joined = std::get_if<MembershipChanged>(&ev)) {
       // Client side: our join to a connection's group completed.
       const bool self_joined =

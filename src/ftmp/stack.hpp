@@ -18,6 +18,7 @@
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "common/metrics.hpp"
 #include "ftmp/config.hpp"
 #include "ftmp/events.hpp"
 #include "ftmp/group_session.hpp"
@@ -183,6 +184,11 @@ class Stack {
   std::size_t events_observed_ = 0;
   TimePoint last_now_ = 0;
   StackStats stats_;
+
+  // Process-global instruments (docs/METRICS.md); upward events are also
+  // mirrored into the trace ring from observe_events.
+  metrics::CounterHandle malformed_;
+  metrics::CounterHandle unroutable_;
 };
 
 }  // namespace ftcorba::ftmp

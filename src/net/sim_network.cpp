@@ -5,7 +5,26 @@
 namespace ftcorba::net {
 
 SimNetwork::SimNetwork(LinkModel defaults, std::uint64_t seed)
-    : defaults_(defaults), root_rng_(seed) {}
+    : defaults_(defaults), root_rng_(seed) {
+  metrics_.packets_sent = metrics::counter(
+      "net_packets_sent_total", "Datagrams handed to the simulated wire",
+      "datagrams", "net");
+  metrics_.bytes_sent = metrics::counter(
+      "net_bytes_sent_total", "Payload bytes handed to the simulated wire",
+      "bytes", "net");
+  metrics_.deliveries = metrics::counter(
+      "net_receiver_deliveries_total",
+      "Per-receiver datagram deliveries (multicast fan-out counted per "
+      "subscriber)",
+      "datagrams", "net");
+  metrics_.drops = metrics::counter(
+      "net_receiver_drops_total",
+      "Per-receiver drops: injected loss, partitions, crashed hosts",
+      "datagrams", "net");
+  metrics_.duplicates = metrics::counter(
+      "net_receiver_duplicates_total", "Per-receiver injected duplicates",
+      "datagrams", "net");
+}
 
 void SimNetwork::attach(ProcessorId node) { nodes_.insert(node.raw()); }
 
@@ -79,6 +98,8 @@ void SimNetwork::enqueue(TimePoint at, ProcessorId dest, const Datagram& d) {
 void SimNetwork::send(TimePoint now, ProcessorId from, const Datagram& datagram) {
   stats_.packets_sent += 1;
   stats_.bytes_sent += datagram.payload.size();
+  metrics_.packets_sent.add();
+  metrics_.bytes_sent.add(datagram.payload.size());
   if (tap_) tap_(now, from, datagram);
   if (crashed_.contains(from.raw())) return;  // a crashed host emits nothing
   auto it = subs_.find(datagram.addr.raw());
@@ -109,25 +130,30 @@ void SimNetwork::send(TimePoint now, ProcessorId from, const Datagram& datagram)
       // Host loopback: lossless, negligible delay.
       enqueue(depart + 1 * kMicrosecond, dest, datagram);
       stats_.receiver_deliveries += 1;
+      metrics_.deliveries.add();
       continue;
     }
     if (!reachable(from, dest)) {
       stats_.receiver_drops += 1;
+      metrics_.drops.add();
       continue;
     }
     const LinkModel& m = link(from, dest);
     Rng& rng = link_rng(from, dest);
     if (rng.chance(m.loss)) {
       stats_.receiver_drops += 1;
+      metrics_.drops.add();
       continue;
     }
     Duration extra = m.jitter > 0 ? rng.next_in(0, m.jitter) : 0;
     enqueue(depart + m.delay + extra, dest, datagram);
     stats_.receiver_deliveries += 1;
+    metrics_.deliveries.add();
     if (rng.chance(m.duplicate)) {
       Duration extra2 = m.jitter > 0 ? rng.next_in(0, m.jitter) : 0;
       enqueue(depart + m.delay + extra2 + 1, dest, datagram);
       stats_.receiver_duplicates += 1;
+      metrics_.duplicates.add();
     }
   }
 }
@@ -146,6 +172,7 @@ std::optional<Delivery> SimNetwork::pop_due(TimePoint until) {
   if (crashed_.contains(out.dest.raw()) || !nodes_.contains(out.dest.raw())) {
     stats_.receiver_drops += 1;
     stats_.receiver_deliveries -= 1;
+    metrics_.drops.add();
     return pop_due(until);
   }
   return out;

@@ -25,6 +25,7 @@
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "net/packet.hpp"
 
@@ -178,6 +179,18 @@ class SimNetwork {
   std::priority_queue<QueuedDelivery, std::vector<QueuedDelivery>, QueueOrder> queue_;
   std::uint64_t tie_counter_ = 0;
   WireStats stats_;
+
+  // Process-global instruments mirroring WireStats (docs/METRICS.md);
+  // unlike stats_, these aggregate across every SimNetwork in the process
+  // and are reset via metrics::reset_all.
+  struct Instruments {
+    metrics::CounterHandle packets_sent;
+    metrics::CounterHandle bytes_sent;
+    metrics::CounterHandle deliveries;
+    metrics::CounterHandle drops;
+    metrics::CounterHandle duplicates;
+  };
+  Instruments metrics_;
   std::function<void(TimePoint, ProcessorId, const Datagram&)> tap_;
 };
 

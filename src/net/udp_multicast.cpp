@@ -25,6 +25,18 @@ std::string UdpMulticastTransport::group_ip(McastAddress addr) {
 
 UdpMulticastTransport::UdpMulticastTransport(Options options)
     : options_(std::move(options)) {
+  metrics_.datagrams_out = metrics::counter(
+      "net_udp_datagrams_out_total", "Datagrams sent on the UDP multicast driver",
+      "datagrams", "net");
+  metrics_.bytes_out = metrics::counter(
+      "net_udp_bytes_out_total", "Bytes sent on the UDP multicast driver",
+      "bytes", "net");
+  metrics_.datagrams_in = metrics::counter(
+      "net_udp_datagrams_in_total",
+      "Datagrams received on the UDP multicast driver", "datagrams", "net");
+  metrics_.bytes_in = metrics::counter(
+      "net_udp_bytes_in_total", "Bytes received on the UDP multicast driver",
+      "bytes", "net");
   send_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (send_fd_ < 0) fail("socket(send)");
 
@@ -112,6 +124,8 @@ void UdpMulticastTransport::send(const Datagram& datagram) {
       ::sendto(send_fd_, datagram.payload.data(), datagram.payload.size(), 0,
                reinterpret_cast<sockaddr*>(&dest), sizeof(dest));
   if (n < 0) fail("sendto");
+  metrics_.datagrams_out.add();
+  metrics_.bytes_out.add(static_cast<std::uint64_t>(n));
 }
 
 std::optional<Datagram> UdpMulticastTransport::receive(Duration timeout) {
@@ -140,6 +154,8 @@ std::optional<Datagram> UdpMulticastTransport::receive(Duration timeout) {
       fail("recv");
     }
     buf.resize(static_cast<std::size_t>(n));
+    metrics_.datagrams_in.add();
+    metrics_.bytes_in.add(static_cast<std::uint64_t>(n));
     return Datagram{McastAddress{addrs[i]}, std::move(buf)};
   }
   return std::nullopt;

@@ -21,6 +21,7 @@
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "common/metrics.hpp"
 #include "net/packet.hpp"
 
 namespace ftcorba::net {
@@ -76,6 +77,15 @@ class UdpMulticastTransport {
   Options options_;
   int send_fd_ = -1;
   std::unordered_map<std::uint32_t, int> group_fds_;  // McastAddress -> fd
+
+  // Process-global instruments (docs/METRICS.md).
+  struct Instruments {
+    metrics::CounterHandle datagrams_out;
+    metrics::CounterHandle bytes_out;
+    metrics::CounterHandle datagrams_in;
+    metrics::CounterHandle bytes_in;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace ftcorba::net

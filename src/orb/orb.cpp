@@ -5,7 +5,28 @@
 namespace ftcorba::orb {
 
 Orb::Orb(ftmp::Stack& stack, ByteOrder byte_order)
-    : stack_(stack), byte_order_(byte_order) {}
+    : stack_(stack), byte_order_(byte_order) {
+  metrics_.requests_dispatched = metrics::counter(
+      "giop_requests_dispatched_total", "Servant invocations executed",
+      "requests", "giop");
+  metrics_.replies_completed = metrics::counter(
+      "giop_replies_completed_total", "Client invocations completed by a reply",
+      "replies", "giop");
+  metrics_.duplicates_suppressed = metrics::counter(
+      "giop_duplicates_suppressed_total",
+      "Replica request/reply copies discarded by the ORB", "messages", "giop");
+  metrics_.undecodable = metrics::counter(
+      "giop_undecodable_payloads_total",
+      "Delivered Regular bodies that failed GIOP decoding", "messages", "giop");
+  metrics_.unknown_objects = metrics::counter(
+      "giop_unknown_objects_total",
+      "Requests delivered for object keys with no local servant", "requests",
+      "giop");
+  metrics_.request_reply_ms = metrics::histogram(
+      "giop_request_reply_latency_ms",
+      "Invoke-to-reply completion latency through the full FTMP stack", "ms",
+      "giop", metrics::latency_buckets_ms());
+}
 
 void Orb::activate(const ObjectKey& key, std::shared_ptr<Servant> servant) {
   servants_[key] = std::move(servant);
@@ -40,6 +61,7 @@ std::optional<RequestNum> Orb::invoke(TimePoint now, const ConnectionId& connect
   }
   if (response_expected && handler) {
     handlers_[{connection, num}] = std::move(handler);
+    sent_at_[{connection, num}] = now;
   }
   return num;
 }
@@ -72,6 +94,7 @@ void Orb::on_event(TimePoint now, const ftmp::Event& event) {
     msg = giop::decode(dm->giop_message);
   } catch (const giop::CdrError& e) {
     stats_.undecodable_payloads += 1;
+    metrics_.undecodable.add();
     FTC_LOG(kDebug) << "orb: undecodable GIOP payload: " << e.what();
     return;
   }
@@ -80,6 +103,7 @@ void Orb::on_event(TimePoint now, const ftmp::Event& event) {
     case giop::MsgType::kRequest:
       if (!dedup_.accept(dm->connection, dm->request_num, ft::MessageKind::kRequest)) {
         stats_.duplicates_suppressed += 1;
+        metrics_.duplicates_suppressed.add();
         return;
       }
       if (log_) {
@@ -92,6 +116,7 @@ void Orb::on_event(TimePoint now, const ftmp::Event& event) {
     case giop::MsgType::kLocateRequest:
       if (!dedup_.accept(dm->connection, dm->request_num, ft::MessageKind::kRequest)) {
         stats_.duplicates_suppressed += 1;
+        metrics_.duplicates_suppressed.add();
         return;
       }
       handle_locate_request(now, *dm, std::get<giop::LocateRequest>(msg.body));
@@ -99,17 +124,19 @@ void Orb::on_event(TimePoint now, const ftmp::Event& event) {
     case giop::MsgType::kReply:
       if (!dedup_.accept(dm->connection, dm->request_num, ft::MessageKind::kReply)) {
         stats_.duplicates_suppressed += 1;
+        metrics_.duplicates_suppressed.add();
         return;
       }
       if (log_) {
         log_->record(ft::LogEntry{ft::MessageKind::kReply, dm->connection,
                                   dm->request_num, dm->timestamp, dm->giop_message});
       }
-      handle_reply(std::get<giop::Reply>(msg.body), *dm, msg.header.byte_order);
+      handle_reply(now, std::get<giop::Reply>(msg.body), *dm, msg.header.byte_order);
       break;
     case giop::MsgType::kLocateReply: {
       if (!dedup_.accept(dm->connection, dm->request_num, ft::MessageKind::kReply)) {
         stats_.duplicates_suppressed += 1;
+        metrics_.duplicates_suppressed.add();
         return;
       }
       auto it = locate_handlers_.find({dm->connection, dm->request_num});
@@ -124,6 +151,7 @@ void Orb::on_event(TimePoint now, const ftmp::Event& event) {
       // Best-effort: drop any still-pending handler for the request.
       const auto& body = std::get<giop::CancelRequest>(msg.body);
       handlers_.erase({dm->connection, RequestNum{body.request_id}});
+      sent_at_.erase({dm->connection, RequestNum{body.request_id}});
       break;
     }
     default:
@@ -149,6 +177,7 @@ std::size_t Orb::expire(TimePoint now) {
     auto on_timeout = std::move(it->second.second);
     handlers_.erase(it->first);
     locate_handlers_.erase(it->first);
+    sent_at_.erase(it->first);
     it = deadlines_.erase(it);
     if (pending) {
       ++fired;
@@ -163,6 +192,7 @@ bool Orb::cancel(TimePoint now, const ConnectionId& connection, RequestNum reque
   handlers_.erase(key);
   locate_handlers_.erase(key);
   deadlines_.erase(key);
+  sent_at_.erase(key);
   giop::CancelRequest body;
   body.request_id = static_cast<std::uint32_t>(request_num);
   giop::GiopMessage msg;
@@ -178,6 +208,7 @@ void Orb::handle_request(TimePoint now, const ftmp::DeliveredMessage& dm,
     // Delivered to both groups (§4): the client group legitimately sees the
     // request too and simply has no servant for it.
     stats_.unknown_objects += 1;
+    metrics_.unknown_objects.add();
     return;
   }
   // Arguments were marshaled in the sender's GIOP byte order.
@@ -192,6 +223,7 @@ void Orb::handle_request(TimePoint now, const ftmp::DeliveredMessage& dm,
     results.string(e.what());
   }
   stats_.requests_dispatched += 1;
+  metrics_.requests_dispatched.add();
   if (!request.response_expected || servant->second->suppress_reply()) return;
 
   giop::Reply reply;
@@ -220,14 +252,20 @@ void Orb::handle_locate_request(TimePoint now, const ftmp::DeliveredMessage& dm,
   (void)stack_.send(now, dm.connection, dm.request_num, giop::encode(msg));
 }
 
-void Orb::handle_reply(const giop::Reply& reply, const ftmp::DeliveredMessage& dm,
-                       ByteOrder body_order) {
+void Orb::handle_reply(TimePoint now, const giop::Reply& reply,
+                       const ftmp::DeliveredMessage& dm, ByteOrder body_order) {
   auto it = handlers_.find({dm.connection, dm.request_num});
   if (it == handlers_.end()) return;  // server replicas see replies too (§4)
   auto handler = std::move(it->second);
   handlers_.erase(it);
   deadlines_.erase({dm.connection, dm.request_num});
+  if (auto sent = sent_at_.find({dm.connection, dm.request_num});
+      sent != sent_at_.end()) {
+    metrics_.request_reply_ms.observe(to_ms(now - sent->second));
+    sent_at_.erase(sent);
+  }
   stats_.replies_completed += 1;
+  metrics_.replies_completed.add();
   handler(reply, body_order);
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.hpp"
 #include "ft/dedup.hpp"
 #include "ft/message_log.hpp"
 #include "ftmp/events.hpp"
@@ -116,8 +117,8 @@ class Orb {
  private:
   void handle_request(TimePoint now, const ftmp::DeliveredMessage& dm,
                       const giop::Request& request, ByteOrder arg_order);
-  void handle_reply(const giop::Reply& reply, const ftmp::DeliveredMessage& dm,
-                    ByteOrder body_order);
+  void handle_reply(TimePoint now, const giop::Reply& reply,
+                    const ftmp::DeliveredMessage& dm, ByteOrder body_order);
   void handle_locate_request(TimePoint now, const ftmp::DeliveredMessage& dm,
                              const giop::LocateRequest& request);
 
@@ -132,9 +133,23 @@ class Orb {
       locate_handlers_;
   std::map<std::pair<ConnectionId, RequestNum>, std::pair<TimePoint, std::function<void()>>>
       deadlines_;
+  // Send time of each pending invocation, for the request→reply latency
+  // histogram; entries leave with their handler (reply/cancel/expire).
+  std::map<std::pair<ConnectionId, RequestNum>, TimePoint> sent_at_;
   ft::DuplicateSuppressor dedup_;
   ft::MessageLog* log_ = nullptr;
   OrbStats stats_;
+
+  // Process-global instruments (docs/METRICS.md).
+  struct Instruments {
+    metrics::CounterHandle requests_dispatched;
+    metrics::CounterHandle replies_completed;
+    metrics::CounterHandle duplicates_suppressed;
+    metrics::CounterHandle undecodable;
+    metrics::CounterHandle unknown_objects;
+    metrics::HistogramHandle request_reply_ms;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace ftcorba::orb

@@ -1,0 +1,199 @@
+// metrics_test.cpp — registry unit tests (docs/METRICS.md): histogram
+// bucket boundaries, concurrent counter increments, snapshot consistency,
+// reset semantics, instrument sharing by name, and the trace ring.
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ftcorba;
+using namespace ftcorba::metrics;
+
+#if FTCORBA_METRICS_ENABLED
+
+namespace {
+
+// Each test uses its own instrument names: the registry is process-global
+// and instruments persist across tests within the binary.
+Sample find_sample(const std::string& name) {
+  for (const Sample& s : snapshot()) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "instrument not in snapshot: " << name;
+  return {};
+}
+
+TEST(Metrics, CounterAccumulates) {
+  auto c = counter("t_counter_acc_total", "help", "events", "test");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  const Sample s = find_sample("t_counter_acc_total");
+  EXPECT_EQ(s.type, Type::kCounter);
+  EXPECT_EQ(s.counter, 42u);
+  EXPECT_EQ(s.layer, "test");
+  EXPECT_EQ(s.unit, "events");
+}
+
+TEST(Metrics, ReRegistrationSharesTheInstrument) {
+  auto a = counter("t_shared_total", "help", "events", "test");
+  auto b = counter("t_shared_total", "help", "events", "test");
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(Metrics, TypeMismatchYieldsInertHandle) {
+  (void)counter("t_mismatch", "help", "events", "test");
+  auto g = gauge("t_mismatch", "help", "events", "test");
+  g.add(5);  // must not crash, must not affect the counter
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(find_sample("t_mismatch").type, Type::kCounter);
+}
+
+TEST(Metrics, GaugeDeltasAndSet) {
+  auto g = gauge("t_gauge_depth", "help", "messages", "test");
+  g.add(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-2);
+  EXPECT_EQ(g.value(), -2);
+  EXPECT_EQ(find_sample("t_gauge_depth").gauge, -2);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  auto h = histogram("t_hist_bounds_ms", "help", "ms", "test", {1.0, 2.0, 5.0});
+  // Prometheus buckets are upper-inclusive: value v lands in the first
+  // bucket with v <= bound; above the last bound it lands in +Inf.
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (boundary is inclusive)
+  h.observe(1.001); // bucket 1 (<= 2)
+  h.observe(2.0);   // bucket 1
+  h.observe(5.0);   // bucket 2 (<= 5)
+  h.observe(5.1);   // overflow (+Inf)
+  h.observe(1e9);   // overflow (+Inf)
+
+  const Sample s = find_sample("t_hist_bounds_ms");
+  ASSERT_EQ(s.type, Type::kHistogram);
+  ASSERT_EQ(s.bounds, (std::vector<double>{1.0, 2.0, 5.0}));
+  ASSERT_EQ(s.buckets.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 2u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 2u);
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.1 + 1e9);
+  EXPECT_EQ(h.count(), 7u);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsAreLossless) {
+  auto c = counter("t_concurrent_total", "help", "events", "test");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      // Each thread registers its own handle, as real layer instances do.
+      auto mine = counter("t_concurrent_total", "help", "events", "test");
+      for (int i = 0; i < kPerThread; ++i) mine.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kPerThread);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsInstruments) {
+  auto c = counter("t_reset_total", "help", "events", "test");
+  auto h = histogram("t_reset_ms", "help", "ms", "test", {1.0});
+  c.add(9);
+  h.observe(0.5);
+  reset_all();
+  EXPECT_EQ(c.value(), 0u);  // the old handle still points at the instrument
+  EXPECT_EQ(h.count(), 0u);
+  const Sample s = find_sample("t_reset_ms");
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Metrics, PrometheusRenderingIsCumulative) {
+  auto h = histogram("t_prom_ms", "help text", "ms", "test", {1.0, 5.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(100.0);
+  const std::string text = render_prometheus();
+  EXPECT_NE(text.find("# HELP t_prom_ms help text"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_prom_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("t_prom_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("t_prom_ms_bucket{le=\"5\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("t_prom_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("t_prom_ms_count 3"), std::string::npos);
+}
+
+TEST(Metrics, JsonRenderingNamesEveryInstrument) {
+  (void)counter("t_json_total", "help", "events", "test");
+  const std::string json = render_json();
+  EXPECT_NE(json.find("\"t_json_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"layer\":\"test\""), std::string::npos);
+}
+
+TEST(Metrics, TraceRingRetainsEventsInOrder) {
+  trace_clear();
+  trace(TraceEvent{/*at=*/10, /*processor=*/1, /*group=*/7,
+                   TraceKind::kNackSent, /*a=*/3, /*b=*/44});
+  trace(TraceEvent{/*at=*/20, /*processor=*/2, /*group=*/7,
+                   TraceKind::kHeartbeatSent, 0, 0});
+  const auto events = trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, 10);
+  EXPECT_EQ(events[0].kind, TraceKind::kNackSent);
+  EXPECT_EQ(events[0].a, 3u);
+  EXPECT_EQ(events[0].b, 44u);
+  EXPECT_EQ(events[1].processor, 2u);
+  const std::string json = render_trace_json();
+  EXPECT_NE(json.find("\"nack_sent\""), std::string::npos);
+  trace_clear();
+  EXPECT_TRUE(trace_events().empty());
+}
+
+TEST(Metrics, TraceRingOverwritesOldestBeyondCapacity) {
+  trace_clear();
+  constexpr int kOverfill = 9000;  // ring capacity is 8192
+  for (int i = 0; i < kOverfill; ++i) {
+    trace(TraceEvent{TimePoint(i), 0, 0, TraceKind::kDelivered,
+                     std::uint64_t(i), 0});
+  }
+  const auto events = trace_events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_LT(events.size(), std::size_t(kOverfill));
+  // Oldest retained first, newest last.
+  EXPECT_EQ(events.back().a, std::uint64_t(kOverfill - 1));
+  EXPECT_LT(events.front().a, events.back().a);
+  trace_clear();
+}
+
+}  // namespace
+
+#else  // !FTCORBA_METRICS_ENABLED
+
+TEST(MetricsDisabled, ApiIsInertButCallable) {
+  auto c = counter("t_off_total", "help", "events", "test");
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+  auto h = histogram("t_off_ms", "help", "ms", "test", {1.0});
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 0u);
+  trace(TraceEvent{});
+  EXPECT_TRUE(trace_events().empty());
+  EXPECT_TRUE(snapshot().empty());
+  EXPECT_TRUE(render_prometheus().empty());
+}
+
+#endif  // FTCORBA_METRICS_ENABLED

@@ -1,0 +1,65 @@
+# check_metrics_off.cmake — asserts the FTMP_METRICS=OFF contract: with
+# FTCORBA_METRICS_ENABLED=0, the registry TU (src/common/metrics.cpp)
+# compiles to an empty object and the full API surface (exercised by
+# tools/metrics_off_probe.cpp) leaves no strong registry symbols behind.
+#
+# Invoked in script mode by the metrics_off_symbol_check ctest:
+#   cmake -DCXX=<compiler> -DNM=<nm> -DSRC_DIR=<repo> -DBIN_DIR=<build>
+#         -P tools/check_metrics_off.cmake
+
+foreach(var CXX SRC_DIR BIN_DIR)
+  if(NOT DEFINED ${var} OR "${${var}}" STREQUAL "")
+    message(FATAL_ERROR "check_metrics_off.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED NM OR "${NM}" STREQUAL "")
+  set(NM nm)
+endif()
+
+set(work "${BIN_DIR}/metrics_off_check")
+file(MAKE_DIRECTORY "${work}")
+
+set(objects "")
+foreach(pair
+    "${SRC_DIR}/src/common/metrics.cpp=registry_off.o"
+    "${SRC_DIR}/tools/metrics_off_probe.cpp=probe_off.o")
+  string(REPLACE "=" ";" parts "${pair}")
+  list(GET parts 0 src)
+  list(GET parts 1 obj)
+  execute_process(
+    COMMAND "${CXX}" -std=c++20 -O2 -Wall -Wextra
+            -DFTCORBA_METRICS_ENABLED=0
+            -I "${SRC_DIR}/src" -c "${src}" -o "${work}/${obj}"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "OFF compile of ${src} failed:\n${err}")
+  endif()
+  list(APPEND objects "${work}/${obj}")
+endforeach()
+
+# Only strong definitions count (types T/t code, D/d data, B/b bss, R/r
+# rodata, G/g small data): weak (W/V) emissions of header inlines are
+# harmless, undefined references (U) are not definitions.
+foreach(obj IN LISTS objects)
+  execute_process(
+    COMMAND "${NM}" --defined-only "${obj}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE symbols
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${NM} ${obj} failed:\n${err}")
+  endif()
+  string(REPLACE "\n" ";" lines "${symbols}")
+  foreach(line IN LISTS lines)
+    if(line MATCHES "^[0-9a-fA-F]* +[TtDdBbRrGg] +(.*)$")
+      set(sym "${CMAKE_MATCH_1}")
+      if(sym MATCHES "metrics")
+        message(FATAL_ERROR
+          "FTMP_METRICS=OFF object ${obj} still defines registry symbol: ${sym}")
+      endif()
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "FTMP_METRICS=OFF objects are free of registry symbols")

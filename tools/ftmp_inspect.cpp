@@ -3,11 +3,20 @@
 // human-readable description.
 //
 //   $ ./ftmp_inspect 46544d50...            # hex from a packet capture
-//   $ echo 46544d50... | ./ftmp_inspect     # or on stdin
+//   $ echo 46544d50... | ./ftmp_inspect     # or on stdin (one per line)
+//   $ ./ftmp_inspect --metrics=prom <hex>   # append a metrics dump
+//
+// Exit status: 0 = everything decoded, 1 = at least one datagram failed to
+// decode (including a GIOP body nested in a Regular payload), 2 = usage /
+// non-hex input.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/metrics.hpp"
 #include "ftmp/fragment.hpp"
 #include "ftmp/messages.hpp"
 #include "giop/messages.hpp"
@@ -51,15 +60,16 @@ void print_members(const char* label, const std::vector<ProcessorId>& members) {
   std::printf("}\n");
 }
 
-void print_giop(BytesView payload) {
+/// Returns false if the payload claimed to be GIOP but failed to decode.
+bool print_giop(BytesView payload) {
   if (ftmp::looks_like_fragment(payload)) {
     std::printf("  payload: FTMP fragment chunk (%zu bytes incl. header)\n",
                 payload.size());
-    return;
+    return true;
   }
   if (!giop::looks_like_giop(payload)) {
     std::printf("  payload: %zu bytes (not GIOP)\n", payload.size());
-    return;
+    return true;
   }
   try {
     const giop::GiopMessage msg = giop::decode(payload);
@@ -84,12 +94,22 @@ void print_giop(BytesView payload) {
     }
   } catch (const giop::CdrError& e) {
     std::printf("  GIOP decode failed: %s\n", e.what());
+    return false;
   }
+  return true;
 }
 
 int inspect(const Bytes& datagram) {
+  auto inspected = metrics::counter("inspect_datagrams_total",
+                                    "Datagrams fed to ftmp_inspect",
+                                    "datagrams", "tools");
+  auto malformed = metrics::counter("inspect_malformed_total",
+                                    "Datagrams ftmp_inspect failed to decode",
+                                    "datagrams", "tools");
+  inspected.add();
   if (!ftmp::looks_like_ftmp(datagram)) {
     std::printf("not an FTMP datagram (magic mismatch)\n");
+    malformed.add();
     return 1;
   }
   ftmp::Message msg;
@@ -97,6 +117,7 @@ int inspect(const Bytes& datagram) {
     msg = ftmp::decode_message(datagram);
   } catch (const CodecError& e) {
     std::printf("FTMP decode failed: %s\n", e.what());
+    malformed.add();
     return 1;
   }
   const ftmp::Header& h = msg.header;
@@ -115,7 +136,10 @@ int inspect(const Bytes& datagram) {
     print_connection(regular->connection);
     std::printf("    request num      %llu\n",
                 static_cast<unsigned long long>(regular->request_num));
-    print_giop(regular->giop_message);
+    if (!print_giop(regular->giop_message)) {
+      malformed.add();
+      return 1;
+    }
   } else if (const auto* nack = std::get_if<ftmp::RetransmitRequestBody>(&msg.body)) {
     std::printf("    missing from %s seq [%llu, %llu]\n",
                 to_string(nack->processor).c_str(),
@@ -156,17 +180,57 @@ int inspect(const Bytes& datagram) {
 
 }  // namespace
 
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: ftmp_inspect [--metrics=prom|json] <hex-datagram>\n"
+               "       (or hex datagrams on stdin, one per line)\n");
+}
+
 int main(int argc, char** argv) {
-  std::string hex;
-  if (argc > 1) {
-    hex = argv[1];
-  } else {
-    std::getline(std::cin, hex);
+  std::string metrics_format;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_format = arg.substr(std::strlen("--metrics="));
+      if (metrics_format != "prom" && metrics_format != "json") {
+        print_usage();
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      inputs.push_back(arg);
+    }
   }
-  Bytes datagram;
-  if (!parse_hex(hex, datagram)) {
-    std::fprintf(stderr, "usage: ftmp_inspect <hex-datagram>  (or hex on stdin)\n");
-    return 2;
+  if (inputs.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      // Skip blank lines so `cat capture.hex | ftmp_inspect` is forgiving.
+      if (line.find_first_not_of(" \t\r") != std::string::npos) {
+        inputs.push_back(line);
+      }
+    }
   }
-  return inspect(datagram);
+
+  int worst = inputs.empty() ? 2 : 0;
+  if (inputs.empty()) print_usage();
+  for (const std::string& hex : inputs) {
+    Bytes datagram;
+    if (!parse_hex(hex, datagram)) {
+      std::fprintf(stderr, "ftmp_inspect: not valid hex: %.32s...\n", hex.c_str());
+      worst = std::max(worst, 2);
+      continue;
+    }
+    worst = std::max(worst, inspect(datagram));
+  }
+
+  if (metrics_format == "prom") {
+    std::fputs(metrics::render_prometheus().c_str(), stdout);
+  } else if (metrics_format == "json") {
+    std::fputs(metrics::render_json().c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return worst;
 }
