@@ -1,0 +1,120 @@
+// E11 — flow control & backpressure (docs/FLOW.md): a slow receiver
+// behind a lossy link makes stability trail the send rate, so without a
+// send window the sender's retransmission store grows with the run length
+// (§6 reclaims only what is group-wide stable). The stability-driven
+// window parks excess sends in a bounded queue instead: the store peak is
+// capped near window × message size, while goodput stays within a few
+// percent of the no-loss baseline because parked sends drain as stability
+// advances.
+#include <cstdio>
+
+#include "support.hpp"
+
+using namespace ftcorba;
+using namespace ftcorba::bench;
+
+namespace {
+
+constexpr ProcessorId kSender{1};
+constexpr ProcessorId kHealthy{2};
+constexpr ProcessorId kSlow{4};
+
+struct FlowRun {
+  std::size_t store_peak = 0;    ///< sender retransmission store, sampled
+  std::size_t store_final = 0;   ///< after the drain
+  std::size_t queue_peak = 0;    ///< parked-send FIFO highwater
+  std::uint64_t stalls = 0;      ///< sends parked by the window
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;   ///< at the healthy observer
+  double goodput = 0;            ///< deliveries/s at the healthy observer
+  double p50_ms = 0, p99_ms = 0; ///< delivery latency at the healthy observer
+};
+
+FlowRun run(bool flow_on, double loss_into_slow, int seconds) {
+  ftmp::Config cfg;
+  cfg.heartbeat_interval = 5 * kMillisecond;
+  cfg.fault_timeout = 2 * kSecond;  // don't convict over pure packet loss
+  if (flow_on) {
+    cfg.flow_window_messages = 48;
+    cfg.flow_window_bytes = 32 * 1024;
+  }
+
+  FtmpFleet fleet(4, cfg, {}, /*seed=*/std::uint64_t(1100 + loss_into_slow * 100));
+  net::LinkModel lossy;
+  lossy.loss = loss_into_slow;
+  for (ProcessorId p : fleet.members) {
+    if (p != kSlow) fleet.h.network().set_link(p, kSlow, lossy);
+  }
+
+  // One sender at a steady 300 msgs/s of 512 B payloads: a deterministic
+  // cadence so the OFF/ON store peaks differ only by the window.
+  const Duration send_gap = 3333 * kMicrosecond;
+  const std::size_t payload = 512;
+  const TimePoint end = fleet.h.now() + seconds * kSecond;
+  TimePoint next_send = fleet.h.now();
+  TimePoint next_sample = fleet.h.now();
+  FlowRun result;
+  auto* session = fleet.h.stack(kSender).group(kBenchGroup);
+  while (fleet.h.now() < end) {
+    if (fleet.h.now() >= next_send) {
+      (void)session->try_send_regular(fleet.h.now(), bench_conn(), ++fleet.next_req,
+                                      stamp_payload(fleet.h.now(), payload));
+      result.sent += 1;
+      next_send += send_gap;
+    }
+    fleet.h.run_for(1 * kMillisecond);
+    if (fleet.h.now() >= next_sample) {
+      next_sample += 20 * kMillisecond;
+      result.store_peak = std::max(result.store_peak, session->rmp().stored_bytes());
+    }
+  }
+  // Drain (links stay degraded): parked sends flush, stability catches up.
+  fleet.h.run_for(3 * kSecond);
+  result.store_peak = std::max(result.store_peak, session->rmp().stored_bytes());
+  result.store_final = session->rmp().stored_bytes();
+  const ftmp::FlowStats& fs = session->flow().stats();
+  result.queue_peak = fs.queue_highwater;
+  result.stalls = fs.pacing_stalls;
+
+  Samples latency;
+  for (const ftmp::DeliveredMessage& m : fleet.h.delivered(kHealthy, kBenchGroup)) {
+    result.delivered += 1;
+    latency.add(to_ms(m.delivered_at - stamped_time(m.giop_message)));
+  }
+  result.goodput = double(result.delivered) / double(seconds);
+  result.p50_ms = latency.percentile(50);
+  result.p99_ms = latency.percentile(99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  banner("E11", "flow control: stability-driven send window vs unbounded sender");
+
+  std::printf("%-5s | %6s | %6s | %10s | %10s | %10s | %6s | %8s | %8s | %8s\n",
+              "flow", "loss", "run s", "store KiB", "final KiB", "queue pk",
+              "sent", "goodput", "p50 ms", "p99 ms");
+  std::printf("------+--------+--------+------------+------------+------------+--------+----------+----------+---------\n");
+  for (double loss : {0.0, 0.9}) {
+    for (int seconds : {2, 6}) {
+      for (bool flow : {false, true}) {
+        const FlowRun r = run(flow, loss, seconds);
+        std::printf("%-5s | %5.0f%% | %6d | %10.1f | %10.1f | %10zu | %6llu | %8.1f | %8.2f | %8.2f\n",
+                    flow ? "on" : "off", loss * 100, seconds,
+                    r.store_peak / 1024.0, r.store_final / 1024.0, r.queue_peak,
+                    static_cast<unsigned long long>(r.sent), r.goodput, r.p50_ms,
+                    r.p99_ms);
+      }
+    }
+  }
+  std::printf(
+      "4 members; links INTO P4 lose the given fraction (its outbound stays\n"
+      "clean, so it is slow, not suspected). P1 sends 300 msgs/s of 512 B;\n"
+      "store sampled every 20 ms; goodput/latency observed at healthy P2.\n"
+      "Expected: with flow off the store peak grows with the run length under\n"
+      "loss; with the 48-msg/32-KiB window it stays near the window while\n"
+      "goodput matches the no-loss baseline (parked sends drain as stability\n"
+      "advances; the cost shows up as tail latency, not lost throughput).\n");
+  return 0;
+}

@@ -26,6 +26,10 @@ bool run_soak(std::uint64_t seed) {
   ftmp::Config cfg;
   cfg.heartbeat_interval = 5 * kMillisecond;
   cfg.fault_timeout = 150 * kMillisecond;
+  // Soak the flow subsystem too: a roomy window (rarely binding at this
+  // rate, but exercised across churn/rebind) and warn-only lag tracking.
+  cfg.flow_window_messages = 64;
+  cfg.flow_lag_warn = 50;
 
   // P1..P4 founders (P1, P2 permanent); P5..P8 churn pool.
   std::vector<ProcessorId> founders;
@@ -267,6 +271,13 @@ bool run_soak(std::uint64_t seed) {
   if (g1) {
     std::printf("P1 buffers         : rmp store %.1f KiB, reassembler in-flight %zu\n",
                 g1->rmp().stored_bytes() / 1024.0, g1->reassembler().in_flight());
+    const ftmp::FlowStats& flow = g1->flow().stats();
+    std::printf("P1 flow            : in-flight %zu msgs, queue %zu (hw %zu), "
+                "stalls %llu, drops %llu, lag warns %llu\n",
+                g1->flow().in_flight_messages(), g1->flow().queue_depth(),
+                flow.queue_highwater, (unsigned long long)flow.pacing_stalls,
+                (unsigned long long)flow.queue_drops,
+                (unsigned long long)flow.lag_warnings);
   }
   std::printf("invariants         : %s\n", ok ? "HOLD" : "VIOLATED");
   return ok;
@@ -282,10 +293,13 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) seeds.push_back(std::stoull(argv[i]));
   }
   bool all_ok = true;
+  reset_metrics();
   for (std::uint64_t seed : seeds) {
     all_ok = run_soak(seed) && all_ok;
   }
   std::printf("\nsoak verdict: %s (%zu seeds)\n", all_ok ? "ALL HOLD" : "VIOLATIONS",
               seeds.size());
+  // Aggregate observability across all seeds (empty under FTMP_METRICS=OFF).
+  print_metrics("soak aggregate, all seeds");
   return all_ok ? 0 : 1;
 }

@@ -52,6 +52,12 @@ enum class TraceKind : std::uint8_t {
   kHeartbeatSent,          ///< idle Heartbeat multicast
   kSuspectSent,            ///< PGMP Suspect multicast: a = suspect count
   kMembershipSent,         ///< PGMP Membership proposal multicast: a = proposal size
+  kOooDropped,             ///< RMP out-of-order buffer cap drop: a = source, b = seq
+  kFlowQueueHigh,          ///< flow send queue crossed the high watermark: a = depth
+  kFlowQueueLow,           ///< flow send queue fell below the low watermark: a = depth
+  kFlowLagWarn,            ///< member stability lag past flow_lag_warn: a = member, b = lag
+  kFlowEvictReport,        ///< member reported to PGMP past flow_lag_evict: a = member, b = lag
+  kFlowSendDropped,        ///< send rejected with the flow queue at capacity: a = depth
 };
 
 [[nodiscard]] inline const char* to_string(TraceKind k) {
@@ -67,6 +73,12 @@ enum class TraceKind : std::uint8_t {
     case TraceKind::kHeartbeatSent: return "heartbeat_sent";
     case TraceKind::kSuspectSent: return "suspect_sent";
     case TraceKind::kMembershipSent: return "membership_sent";
+    case TraceKind::kOooDropped: return "ooo_dropped";
+    case TraceKind::kFlowQueueHigh: return "flow_queue_high";
+    case TraceKind::kFlowQueueLow: return "flow_queue_low";
+    case TraceKind::kFlowLagWarn: return "flow_lag_warn";
+    case TraceKind::kFlowEvictReport: return "flow_evict_report";
+    case TraceKind::kFlowSendDropped: return "flow_send_dropped";
   }
   return "?";
 }

@@ -71,6 +71,42 @@ struct Config {
   /// buffers — the "no buffer management" ablation of bench E7 (§6's ack
   /// timestamps are exactly what makes reclamation safe).
   bool stability_gc = true;
+
+  // ---- flow control & backpressure (docs/FLOW.md, bench E11) ----
+
+  /// Stability-driven send window: at most this many of this sender's own
+  /// Regular messages may be multicast-but-unstable at once; further sends
+  /// are parked in a bounded FIFO and released as stability advances.
+  /// 0 disables the window entirely (default — no behaviour change).
+  /// Requires stability_gc: with reclamation off nothing ever leaves the
+  /// window and parked sends would wait forever.
+  std::size_t flow_window_messages = 0;
+
+  /// Byte companion to flow_window_messages: sends also park while the
+  /// sender's unstable encoded bytes exceed this. 0 = no byte bound. At
+  /// least one message is always admitted, so a payload larger than the
+  /// bound cannot deadlock.
+  std::size_t flow_window_bytes = 0;
+
+  /// Capacity of the parked-send FIFO. A send arriving with the queue at
+  /// capacity is dropped, counted (ftmp_flow_send_queue_dropped_total),
+  /// traced, and reported as SendStatus::kRejected. 0 = unlimited.
+  std::size_t flow_send_queue_limit = 1024;
+
+  /// Parked-queue depths at which FlowListener high/low watermark
+  /// callbacks fire (the ORB defers new client requests in between).
+  /// 0 = derived: high = 3/4 of flow_send_queue_limit, low = 1/4.
+  std::size_t flow_queue_high_watermark = 0;
+  std::size_t flow_queue_low_watermark = 0;
+
+  /// Slow-receiver policy thresholds, in timestamp ticks of stability lag
+  /// (how far a member's ack timestamp trails the group maximum). Past
+  /// flow_lag_warn the member is warned about (trace + metrics); past
+  /// flow_lag_evict it is reported to PGMP as suspect — an explicit,
+  /// tunable version of the paper's implicit "processors that fall behind
+  /// stall the group". 0 disables each threshold (both default off).
+  std::uint64_t flow_lag_warn = 0;
+  std::uint64_t flow_lag_evict = 0;
 };
 
 }  // namespace ftcorba::ftmp

@@ -17,7 +17,8 @@ GroupSession::GroupSession(ProcessorId self, ProcessorGroupId group,
       outbox_(outbox),
       rmp_(self, config),
       romp_(self, config),
-      pgmp_(self, config, rmp_, romp_) {
+      pgmp_(self, config, rmp_, romp_),
+      flow_(self, group, config) {
   heartbeats_sent_ = metrics::counter(
       "ftmp_rmp_heartbeats_sent_total",
       "Heartbeat messages multicast when nothing else was sent within the "
@@ -67,7 +68,12 @@ Header GroupSession::send_message(TimePoint now, Body body, McastAddress target)
   h.message_timestamp = romp_.stamp(now);
   h.ack_timestamp = romp_.ack_timestamp();
   Bytes raw = encode_message(Message{h, std::move(body)});
-  if (reliable) rmp_.store(self_, h.sequence_number, raw);
+  if (reliable) {
+    rmp_.store(self_, h.sequence_number, raw);
+    if (h.type == MessageType::kRegular) {
+      flow_.note_sent(now, h.sequence_number, raw.size());
+    }
+  }
   // Every freshly-stamped multicast doubles as liveness information, so it
   // resets the heartbeat timer (verbatim retransmissions do not).
   rmp_.note_sent(now);
@@ -102,17 +108,31 @@ void GroupSession::emit_regular(TimePoint now, const ConnectionId& connection,
 
 bool GroupSession::send_regular(TimePoint now, const ConnectionId& connection,
                                 RequestNum request_num, BytesView giop) {
-  if (!active()) return false;
+  const SendStatus status = try_send_regular(now, connection, request_num, giop);
+  return status == SendStatus::kSent || status == SendStatus::kQueued;
+}
+
+SendStatus GroupSession::try_send_regular(TimePoint now,
+                                          const ConnectionId& connection,
+                                          RequestNum request_num, BytesView giop) {
+  if (!active()) return SendStatus::kInactive;
   if (flushing()) {
     // §7 flush rule: no ordered transmissions until every member has been
     // heard above the Connect's timestamp. Queue and release from pump().
     queued_sends_.push_back(
         QueuedSend{connection, request_num, Bytes(giop.begin(), giop.end())});
-    return true;
+    return SendStatus::kQueued;
+  }
+  if (!flow_.may_send(giop.size())) {
+    const bool parked = flow_.park(
+        now, FlowController::Parked{connection, request_num,
+                                    Bytes(giop.begin(), giop.end())});
+    emit_flow_signals(now);
+    return parked ? SendStatus::kQueued : SendStatus::kRejected;
   }
   emit_regular(now, connection, request_num, giop);
   pump(now);
-  return true;
+  return SendStatus::kSent;
 }
 
 bool GroupSession::rebind_address(TimePoint now, McastAddress new_addr) {
@@ -234,8 +254,13 @@ void GroupSession::handle(TimePoint now, const Message& msg, BytesView raw) {
     default: {
       // Reliable, source-ordered path (Regular, Connect, AddProcessor,
       // RemoveProcessor, Suspect, Membership).
-      for (Message& m : rmp_.on_reliable(now, msg, raw)) {
+      RmpAccept accept{};
+      for (Message& m : rmp_.on_reliable(now, msg, raw, &accept)) {
         route_source_ordered(now, m);
+      }
+      if (accept == RmpAccept::kOooDropped) {
+        trace(now, metrics::TraceKind::kOooDropped, h.source.raw(),
+              h.sequence_number);
       }
       break;
     }
@@ -335,6 +360,7 @@ void GroupSession::emit_install(TimePoint now, InstallOut&& install) {
   // A removed member's partially-reassembled message can never complete.
   for (ProcessorId gone : install.change.left) {
     reassembler_.forget(gone);
+    flow_.forget_member(gone);
   }
   for (FaultReport& f : install.faults) {
     f.group = group_;
@@ -382,9 +408,37 @@ void GroupSession::pump(TimePoint now) {
   if (config_.stability_gc) {
     for (const auto& [src, seq] : romp_.collect_stable()) {
       rmp_.release(src, seq);
+      if (src == self_) flow_.on_stable(now, seq);
     }
   }
   progress_flush(now);
+  drain_flow_queue(now);
+}
+
+void GroupSession::drain_flow_queue(TimePoint now) {
+  if (!flow_.window_enabled()) return;
+  if (!flushing()) {
+    while (auto parked = flow_.release_one(now)) {
+      emit_regular(now, parked->connection, parked->request_num, parked->giop);
+    }
+  }
+  emit_flow_signals(now);
+}
+
+void GroupSession::emit_flow_signals(TimePoint now) {
+  (void)now;
+  for (FlowSignal s : flow_.take_signals()) {
+    if (flow_listener_) flow_listener_->on_flow(group_, s);
+  }
+}
+
+void GroupSession::check_flow_lag(TimePoint now) {
+  if (!flow_.lag_enabled()) return;
+  std::vector<std::pair<ProcessorId, Timestamp>> acks;
+  for (ProcessorId q : romp_.members()) acks.emplace_back(q, romp_.last_ack(q));
+  for (ProcessorId laggard : flow_.observe_lag(now, acks)) {
+    pgmp_.suspect_slow(now, laggard);
+  }
 }
 
 void GroupSession::tick(TimePoint now) {
@@ -400,6 +454,7 @@ void GroupSession::tick(TimePoint now) {
   }
   pgmp_.tick(now);
   rmp_.on_tick(now);
+  check_flow_lag(now);
   if (rmp_.heartbeat_due(now)) {
     send_message(now, HeartbeatBody{}, group_addr_);
     heartbeats_sent_.add();

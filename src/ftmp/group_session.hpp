@@ -14,6 +14,7 @@
 #include "common/ids.hpp"
 #include "ftmp/config.hpp"
 #include "ftmp/events.hpp"
+#include "ftmp/flow.hpp"
 #include "ftmp/fragment.hpp"
 #include "ftmp/messages.hpp"
 #include "ftmp/pgmp.hpp"
@@ -67,9 +68,21 @@ class GroupSession {
   // ---- sends ----
 
   /// Multicasts a Regular message (encapsulated GIOP) to the group.
-  /// Returns false if the session is inactive.
+  /// Returns false if the session is inactive or the send was rejected by
+  /// the flow-control queue bound (kQueued still returns true: the message
+  /// goes out once the window frees / the flush completes).
   bool send_regular(TimePoint now, const ConnectionId& connection,
                     RequestNum request_num, BytesView giop);
+
+  /// Non-blocking send with explicit disposition (flow.hpp): kSent went
+  /// out now, kQueued is parked behind the send window or a §7 flush,
+  /// kRejected was dropped at the flow queue bound, kInactive means this
+  /// processor is no longer an active member.
+  SendStatus try_send_regular(TimePoint now, const ConnectionId& connection,
+                              RequestNum request_num, BytesView giop);
+
+  /// Installs (or clears, with nullptr) the queue-watermark listener.
+  void set_flow_listener(FlowListener* listener) { flow_listener_ = listener; }
 
   /// Multicasts a Connect message on the *domain* address (server side of
   /// connection establishment, §7); the group members order it, the client
@@ -117,6 +130,7 @@ class GroupSession {
   [[nodiscard]] const Rmp& rmp() const { return rmp_; }
   [[nodiscard]] const Romp& romp() const { return romp_; }
   [[nodiscard]] const Pgmp& pgmp() const { return pgmp_; }
+  [[nodiscard]] const FlowController& flow() const { return flow_; }
   [[nodiscard]] const Reassembler& reassembler() const { return reassembler_; }
 
  private:
@@ -142,6 +156,15 @@ class GroupSession {
   void begin_rebind(TimePoint now, const Message& connect_msg);
   void progress_flush(TimePoint now);
 
+  /// Releases parked sends the freed window now admits, then forwards any
+  /// queue-watermark transitions to the installed FlowListener.
+  void drain_flow_queue(TimePoint now);
+  void emit_flow_signals(TimePoint now);
+
+  /// Samples per-member stability lag and applies the warn/evict policy
+  /// (flow_lag_warn / flow_lag_evict).
+  void check_flow_lag(TimePoint now);
+
   /// Records a protocol-internal trace event tagged with this session's
   /// processor and group (no-op when metrics are compiled out).
   void trace(TimePoint now, metrics::TraceKind kind, std::uint64_t a = 0,
@@ -157,6 +180,8 @@ class GroupSession {
   Rmp rmp_;
   Romp romp_;
   Pgmp pgmp_;
+  FlowController flow_;
+  FlowListener* flow_listener_ = nullptr;
 
   // Connect-rebind state (§7): flush watermark, retiring old address, and
   // ordered sends queued during the flush.

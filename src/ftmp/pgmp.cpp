@@ -126,7 +126,8 @@ void Pgmp::init_from_add(TimePoint now, const Message& add_msg) {
 
 void Pgmp::note_heard(ProcessorId src, TimePoint now) {
   last_heard_[src] = now;
-  if (my_suspects_.contains(src) && !convicted_.contains(src)) {
+  if (my_suspects_.contains(src) && !convicted_.contains(src) &&
+      !pinned_suspects_.contains(src)) {
     // False suspicion (it spoke again before conviction): withdraw.
     my_suspects_.erase(src);
     SuspectBody body;
@@ -136,6 +137,21 @@ void Pgmp::note_heard(ProcessorId src, TimePoint now) {
     stats_.suspects_sent += 1;
     metrics_.suspect_msgs.add();
   }
+}
+
+void Pgmp::suspect_slow(TimePoint now, ProcessorId member) {
+  if (!active_ || member == self_) return;
+  if (!contains(membership_.members, member)) return;
+  pinned_suspects_.insert(member);
+  if (!my_suspects_.insert(member).second) return;  // already suspect: pin only
+  metrics_.suspicions.add();
+  if (!suspects_since_) suspects_since_ = now;
+  SuspectBody body;
+  body.current_membership = membership_;
+  body.suspects.assign(my_suspects_.begin(), my_suspects_.end());
+  output_.emplace_back(SendBodyOut{std::move(body), /*reliable=*/true});
+  stats_.suspects_sent += 1;
+  metrics_.suspect_msgs.add();
 }
 
 std::optional<AddProcessorBody> Pgmp::make_add(ProcessorId new_member) const {
@@ -249,6 +265,7 @@ void Pgmp::on_remove_ordered(TimePoint now, const Message& msg) {
   romp_.remove_member(member, /*drop_pending=*/true);
   last_heard_.erase(member);
   my_suspects_.erase(member);
+  pinned_suspects_.erase(member);
   // Keep its stored messages around for stragglers; purge after a few fault
   // timeouts.
   deferred_purges_.emplace_back(member, now + 4 * config_.fault_timeout);
@@ -456,6 +473,7 @@ void Pgmp::try_complete(TimePoint now) {
     romp_.remove_member(m, /*drop_pending=*/false);
     last_heard_.erase(m);
     my_suspects_.erase(m);
+    pinned_suspects_.erase(m);
     deferred_purges_.emplace_back(m, now + 4 * config_.fault_timeout);
     install.faults.push_back(FaultReport{{}, m});
   }
@@ -498,6 +516,7 @@ void Pgmp::reset_round_state() {
   convicted_.clear();
   my_last_proposal_.clear();
   my_suspects_.clear();
+  pinned_suspects_.clear();
   suspects_since_.reset();
   round_started_.reset();
   equalization_counted_ = false;

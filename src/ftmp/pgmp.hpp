@@ -124,6 +124,14 @@ class Pgmp {
   /// withdraws any suspicion of it that has not yet led to conviction).
   void note_heard(ProcessorId src, TimePoint now);
 
+  /// Flow-control slow-receiver policy (flow.hpp, flow_lag_evict): marks
+  /// `member` suspect as if the fault detector had timed it out, but pins
+  /// the suspicion so that merely hearing packets from the member does not
+  /// withdraw it — a slow receiver is alive and talking; its problem is
+  /// lag, which only a membership change resolves. The pin clears when a
+  /// recovery round completes or the member leaves.
+  void suspect_slow(TimePoint now, ProcessorId member);
+
   // ---- planned membership changes (§7.1) ----
 
   /// Starts adding `new_member`: returns the AddProcessor body to be sent
@@ -226,6 +234,9 @@ class Pgmp {
   // Fault detector.
   std::unordered_map<ProcessorId, TimePoint> last_heard_;
   std::set<ProcessorId> my_suspects_;
+  // Suspicions that survive note_heard (slow receivers reported via
+  // suspect_slow keep talking); subset of my_suspects_.
+  std::set<ProcessorId> pinned_suspects_;
   // When my_suspects_ last became non-empty; if no recovery completes
   // within the stranding window the processor gives up and self-evicts
   // (it is likely alone in an epoch the rest of the group left behind).

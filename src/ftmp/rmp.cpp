@@ -41,6 +41,11 @@ Rmp::Rmp(ProcessorId self, const Config& config) : self_(self), config_(config) 
       "ftmp_rmp_dropped_stale_incarnation_total",
       "Reliable messages dropped by the incarnation timestamp floor", "messages",
       "rmp");
+  metrics_.ooo_dropped = metrics::counter(
+      "ftmp_rmp_ooo_dropped_total",
+      "Reliable messages dropped at the max_out_of_order_buffer cap "
+      "(recovered later via NACK)",
+      "messages", "rmp");
   metrics_.store_bytes = metrics::gauge(
       "ftmp_rmp_store_bytes", "Bytes held in the retransmission store", "bytes",
       "rmp");
@@ -130,13 +135,17 @@ void Rmp::store(ProcessorId src, SeqNum seq, BytesView raw) {
   store_.emplace(key, std::move(copy));
 }
 
-std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw) {
+std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw,
+                                      RmpAccept* accept) {
+  RmpAccept sink;
+  RmpAccept& disposed = accept ? *accept : sink;
   const ProcessorId src = msg.header.source;
   const SeqNum seq = msg.header.sequence_number;
   auto it = sources_.find(src);
   if (it == sources_.end()) {
     stats_.dropped_unknown_source += 1;
     metrics_.dropped_unknown.add();
+    disposed = RmpAccept::kUnknownSource;
     return {};
   }
   SourceState& st = it->second;
@@ -147,11 +156,13 @@ std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw)
     // re-add): poisonous if accepted into the fresh stream.
     stats_.dropped_stale_incarnation += 1;
     metrics_.dropped_stale.add();
+    disposed = RmpAccept::kStaleIncarnation;
     return {};
   }
   if (seq <= st.contiguous || st.out_of_order.contains(seq)) {
     stats_.duplicates_ignored += 1;
     metrics_.duplicates.add();
+    disposed = RmpAccept::kDuplicate;
     return {};
   }
 
@@ -160,6 +171,7 @@ std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw)
 
   std::vector<Message> deliver;
   if (seq == st.contiguous + 1) {
+    disposed = RmpAccept::kDelivered;
     st.contiguous = seq;
     stats_.delivered_in_order += 1;
     deliver.push_back(std::move(msg));
@@ -176,8 +188,16 @@ std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw)
   } else {
     if (config_.max_out_of_order_buffer == 0 ||
         st.out_of_order.size() < config_.max_out_of_order_buffer) {
+      disposed = RmpAccept::kBuffered;
       st.out_of_order.emplace(seq, std::move(msg));
       metrics_.out_of_order.add(1);
+    } else {
+      // At the cap the message is not buffered, but its stored copy (and
+      // everyone else's) still answers the NACK recovery that will refetch
+      // it once the gap closes — dropped here means delayed, not lost.
+      disposed = RmpAccept::kOooDropped;
+      stats_.ooo_dropped += 1;
+      metrics_.ooo_dropped.add();
     }
     queue_nacks(now, st, src);
   }

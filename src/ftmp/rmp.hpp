@@ -50,6 +50,18 @@ struct RmpStats {
   std::uint64_t dropped_unknown_source = 0;
   std::uint64_t dropped_stale_incarnation = 0;
   std::uint64_t delivered_in_order = 0;
+  std::uint64_t ooo_dropped = 0;  ///< drops at the max_out_of_order_buffer cap
+};
+
+/// How on_reliable disposed of a message (optional out-param; tests and the
+/// session's drop tracing key off it).
+enum class RmpAccept : std::uint8_t {
+  kDelivered,         ///< extended the contiguous prefix (maybe draining buffered)
+  kBuffered,          ///< ahead of a gap: parked in the out-of-order buffer
+  kDuplicate,         ///< already contiguous or already buffered
+  kUnknownSource,     ///< source is not a tracked member
+  kStaleIncarnation,  ///< rejected by the incarnation timestamp floor
+  kOooDropped,        ///< out-of-order buffer at max_out_of_order_buffer: dropped
 };
 
 /// Reliable source-ordered multicast (one group, one processor).
@@ -126,8 +138,12 @@ class Rmp {
   /// Handles a reliable message (Regular, Connect, AddProcessor,
   /// RemoveProcessor, Suspect, Membership). Returns the messages that are
   /// now deliverable in source order (possibly empty, possibly several when
-  /// a gap fills). May queue NACKs.
-  [[nodiscard]] std::vector<Message> on_reliable(TimePoint now, Message msg, BytesView raw);
+  /// a gap fills). May queue NACKs. `accept`, when non-null, receives how
+  /// the message was disposed of (notably kOooDropped at the buffer cap,
+  /// which is otherwise invisible to the caller).
+  [[nodiscard]] std::vector<Message> on_reliable(TimePoint now, Message msg,
+                                                 BytesView raw,
+                                                 RmpAccept* accept = nullptr);
 
   /// Handles a Heartbeat header: updates gap knowledge from the carried
   /// sequence number and schedules NACKs for revealed gaps. The heartbeat
@@ -200,6 +216,7 @@ class Rmp {
     metrics::CounterHandle retransmits_served;
     metrics::CounterHandle dropped_unknown;
     metrics::CounterHandle dropped_stale;
+    metrics::CounterHandle ooo_dropped;
     metrics::GaugeHandle store_bytes;
     metrics::GaugeHandle out_of_order;
     metrics::HistogramHandle gap_repair_ms;

@@ -226,6 +226,11 @@ Timestamp Romp::stable_timestamp() const {
   return members_.empty() ? 0 : acc;
 }
 
+Timestamp Romp::last_ack(ProcessorId q) const {
+  auto it = last_acks_.find(q);
+  return it == last_acks_.end() ? 0 : it->second;
+}
+
 std::vector<std::pair<ProcessorId, SeqNum>> Romp::collect_stable() {
   std::vector<std::pair<ProcessorId, SeqNum>> out;
   const Timestamp stable = stable_timestamp();

@@ -23,9 +23,15 @@ Stack::Stack(ProcessorId self, FtDomainId domain, McastAddress domain_addr, Conf
 GroupSession& Stack::make_session(ProcessorGroupId g, McastAddress addr) {
   auto session = std::make_unique<GroupSession>(self_, g, addr, domain_addr_,
                                                 config_, outbox_);
+  session->set_flow_listener(flow_listener_);
   auto [it, inserted] = sessions_.emplace(g, std::move(session));
   subscriptions_.insert(addr.raw());
   return *it->second;
+}
+
+void Stack::set_flow_listener(FlowListener* listener) {
+  flow_listener_ = listener;
+  for (auto& [g, session] : sessions_) session->set_flow_listener(listener);
 }
 
 void Stack::create_group(TimePoint now, ProcessorGroupId group, McastAddress addr,
@@ -102,24 +108,31 @@ std::optional<ProcessorGroupId> Stack::connection_group(const ConnectionId& conn
 
 bool Stack::send(TimePoint now, const ConnectionId& connection, RequestNum request_num,
                  BytesView giop) {
+  const SendStatus status = try_send(now, connection, request_num, giop);
+  return status == SendStatus::kSent || status == SendStatus::kQueued;
+}
+
+SendStatus Stack::try_send(TimePoint now, const ConnectionId& connection,
+                           RequestNum request_num, BytesView giop) {
+  GroupSession* s = nullptr;
   auto it = client_conns_.find(connection);
   if (it != client_conns_.end() && it->second.established) {
-    GroupSession* s = this->group(it->second.bound_group);
-    if (s && s->send_regular(now, connection, request_num, giop)) {
-      observe_events(now);
-      return true;
-    }
-    return false;
+    s = this->group(it->second.bound_group);
+  } else if (serve_group_) {
+    // Server replicas reply over the group that serves the connection.
+    s = this->group(*serve_group_);
   }
-  // Server replicas reply over the group that serves the connection.
-  if (serve_group_) {
-    GroupSession* s = this->group(*serve_group_);
-    if (s && s->send_regular(now, connection, request_num, giop)) {
-      observe_events(now);
-      return true;
-    }
-  }
-  return false;
+  if (!s) return SendStatus::kInactive;
+  const SendStatus status = s->try_send_regular(now, connection, request_num, giop);
+  observe_events(now);
+  return status;
+}
+
+bool Stack::connection_congested(const ConnectionId& connection) const {
+  const auto g = connection_group(connection);
+  if (!g) return false;
+  const GroupSession* s = this->group(*g);
+  return s && s->flow().over_high_watermark();
 }
 
 void Stack::send_connect_request(TimePoint now, const ConnectionId& conn,

@@ -111,9 +111,24 @@ class Stack {
       const ConnectionId& connection) const;
 
   /// Multicasts a GIOP payload on a ready connection. Returns false if the
-  /// connection is not ready.
+  /// connection is not ready or the send was rejected by the flow-control
+  /// queue bound (a flow-parked send still returns true — it goes out when
+  /// the window frees).
   bool send(TimePoint now, const ConnectionId& connection, RequestNum request_num,
             BytesView giop);
+
+  /// Non-blocking send with the explicit flow-control disposition
+  /// (flow.hpp's SendStatus). kInactive covers "no ready connection" too.
+  SendStatus try_send(TimePoint now, const ConnectionId& connection,
+                      RequestNum request_num, BytesView giop);
+
+  /// Installs a queue-watermark listener on every current and future group
+  /// session of this stack (nullptr clears).
+  void set_flow_listener(FlowListener* listener);
+
+  /// True while the group serving `connection` sits above its flow-queue
+  /// high watermark — the ORB's cue to defer new client requests.
+  [[nodiscard]] bool connection_congested(const ConnectionId& connection) const;
 
   // ---- IO (driver-facing) ----
 
@@ -179,6 +194,7 @@ class Stack {
   std::optional<ProcessorGroupId> serve_group_;
   std::map<ConnectionId, ClientConn> client_conns_;
   std::map<ConnectionId, ServerConn> server_conns_;
+  FlowListener* flow_listener_ = nullptr;
 
   // Index of the first outbox event not yet inspected by observe_events.
   std::size_t events_observed_ = 0;

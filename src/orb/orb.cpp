@@ -22,6 +22,11 @@ Orb::Orb(ftmp::Stack& stack, ByteOrder byte_order)
       "giop_unknown_objects_total",
       "Requests delivered for object keys with no local servant", "requests",
       "giop");
+  metrics_.requests_deferred = metrics::counter(
+      "giop_requests_deferred_total",
+      "Client invocations refused while the connection's group was over its "
+      "flow-control high watermark",
+      "requests", "giop");
   metrics_.request_reply_ms = metrics::histogram(
       "giop_request_reply_latency_ms",
       "Invoke-to-reply completion latency through the full FTMP stack", "ms",
@@ -42,6 +47,14 @@ std::optional<RequestNum> Orb::invoke(TimePoint now, const ConnectionId& connect
                                       const ObjectKey& key, const std::string& operation,
                                       const giop::CdrWriter& args, ReplyHandler handler,
                                       bool response_expected) {
+  if (stack_.connection_congested(connection)) {
+    // Backpressure (docs/FLOW.md): the group's flow queue is over its high
+    // watermark; multicasting more would only deepen it. No request number
+    // is consumed, so replicas that defer at different moments stay aligned.
+    stats_.requests_deferred += 1;
+    metrics_.requests_deferred.add();
+    return std::nullopt;
+  }
   giop::Request request;
   const RequestNum num = next_request_num(connection);
   request.request_id = static_cast<std::uint32_t>(num);
@@ -69,6 +82,11 @@ std::optional<RequestNum> Orb::invoke(TimePoint now, const ConnectionId& connect
 std::optional<RequestNum> Orb::locate(TimePoint now, const ConnectionId& connection,
                                       const ObjectKey& key,
                                       std::function<void(giop::LocateStatus)> handler) {
+  if (stack_.connection_congested(connection)) {
+    stats_.requests_deferred += 1;
+    metrics_.requests_deferred.add();
+    return std::nullopt;
+  }
   giop::LocateRequest request;
   const RequestNum num = next_request_num(connection);
   request.request_id = static_cast<std::uint32_t>(num);

@@ -40,6 +40,7 @@ struct OrbStats {
   std::uint64_t duplicates_suppressed = 0; ///< replica copies discarded
   std::uint64_t undecodable_payloads = 0;  ///< non-GIOP Regular bodies dropped
   std::uint64_t unknown_objects = 0;       ///< Requests for unregistered keys
+  std::uint64_t requests_deferred = 0;     ///< invocations refused under backpressure
 };
 
 /// The per-processor ORB, layered over one FTMP stack.
@@ -65,8 +66,11 @@ class Orb {
 
   /// Invokes `operation` on the object behind `connection`/`key` with the
   /// marshaled arguments in `args`. Returns the request number, or nullopt
-  /// if the connection was not ready. With `response_expected` false the
-  /// call is oneway (no handler is retained).
+  /// if the connection was not ready — or if the connection's group is
+  /// over its flow-control high watermark (the invocation is *deferred*:
+  /// no request number is consumed; retry once pressure drains, e.g. after
+  /// a FlowSignal::kQueueLow). With `response_expected` false the call is
+  /// oneway (no handler is retained).
   std::optional<RequestNum> invoke(TimePoint now, const ConnectionId& connection,
                                    const ObjectKey& key, const std::string& operation,
                                    const giop::CdrWriter& args, ReplyHandler handler,
@@ -147,6 +151,7 @@ class Orb {
     metrics::CounterHandle duplicates_suppressed;
     metrics::CounterHandle undecodable;
     metrics::CounterHandle unknown_objects;
+    metrics::CounterHandle requests_deferred;
     metrics::HistogramHandle request_reply_ms;
   };
   Instruments metrics_;

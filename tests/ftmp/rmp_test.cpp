@@ -191,6 +191,34 @@ TEST_F(RmpFixture, JoiningSourceStartsMidStream) {
   EXPECT_EQ(rmp.contiguous(ProcessorId{3}), 11u);
 }
 
+TEST(RmpOooCap, DropsAtCapWithDistinctStatus) {
+  Config config;
+  config.max_out_of_order_buffer = 2;
+  Rmp rmp(kSelf, config);
+  rmp.add_source(kSelf, 0);
+  rmp.add_source(kPeer, 0);
+  auto feed = [&](const Message& m) {
+    RmpAccept accept{};
+    const Bytes raw = encode_message(m);
+    (void)rmp.on_reliable(0, m, raw, &accept);
+    return accept;
+  };
+  // Seqs 1-2 missing: 3 and 4 park in the out-of-order buffer, 5 hits the cap.
+  EXPECT_EQ(feed(regular(kPeer, 3)), RmpAccept::kBuffered);
+  EXPECT_EQ(feed(regular(kPeer, 4)), RmpAccept::kBuffered);
+  EXPECT_EQ(feed(regular(kPeer, 5)), RmpAccept::kOooDropped);
+  EXPECT_EQ(rmp.stats().ooo_dropped, 1u);
+  EXPECT_EQ(rmp.out_of_order_count(), 2u);
+  // The drop is a delay, not a loss: once the gap fills, NACK recovery
+  // re-fetches seq 5 like any other missing message.
+  EXPECT_EQ(feed(regular(kPeer, 1)), RmpAccept::kDelivered);
+  EXPECT_EQ(feed(regular(kPeer, 1)), RmpAccept::kDuplicate);
+  EXPECT_EQ(feed(regular(kPeer, 2)), RmpAccept::kDelivered);  // drains 3, 4
+  EXPECT_EQ(rmp.contiguous(kPeer), 4u);
+  EXPECT_EQ(feed(regular(kPeer, 5)), RmpAccept::kDelivered);
+  EXPECT_TRUE(rmp.complete(kPeer));
+}
+
 TEST_F(RmpFixture, RemoveSourceKeepsStoreUntilPurge) {
   (void)feed(regular(kPeer, 1));
   rmp.remove_source(kPeer);

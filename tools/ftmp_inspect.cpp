@@ -131,6 +131,15 @@ int inspect(const Bytes& datagram) {
               static_cast<unsigned long long>(h.sequence_number),
               static_cast<unsigned long long>(h.message_timestamp),
               static_cast<unsigned long long>(h.ack_timestamp));
+  // The sender's own view of its stability lag: everything it originated
+  // with ts <= ack-ts is group-wide stable, so ts - ack-ts is the span this
+  // datagram still pins in every retransmission store. This is the quantity
+  // the flow-control window bounds (docs/FLOW.md) — a span that keeps
+  // growing across a capture is the slow-receiver signature.
+  if (h.message_timestamp >= h.ack_timestamp) {
+    std::printf("  unstable span %llu ts  (message ts - ack ts; what the flow window bounds)\n",
+                static_cast<unsigned long long>(h.message_timestamp - h.ack_timestamp));
+  }
 
   if (const auto* regular = std::get_if<ftmp::RegularBody>(&msg.body)) {
     print_connection(regular->connection);
@@ -183,7 +192,23 @@ int inspect(const Bytes& datagram) {
 void print_usage() {
   std::fprintf(stderr,
                "usage: ftmp_inspect [--metrics=prom|json] <hex-datagram>\n"
-               "       (or hex datagrams on stdin, one per line)\n");
+               "       (or hex datagrams on stdin, one per line)\n"
+               "\n"
+               "Decodes hex-encoded FTMP datagrams (and nested GIOP bodies) to a\n"
+               "human-readable description. Each datagram also reports its\n"
+               "unstable span (message ts - ack ts): the stability lag the\n"
+               "flow-control send window bounds (docs/FLOW.md).\n"
+               "\n"
+               "options:\n"
+               "  --metrics=prom   after decoding, dump this process's metrics\n"
+               "                   registry in Prometheus text format on stdout\n"
+               "                   (inspect_datagrams_total / inspect_malformed_total\n"
+               "                   count this run; see docs/METRICS.md)\n"
+               "  --metrics=json   same registry as a single JSON object\n"
+               "  -h, --help       show this help\n"
+               "\n"
+               "exit status: 0 all decoded, 1 at least one decode failed, 2 usage\n"
+               "or non-hex input.\n");
 }
 
 int main(int argc, char** argv) {
