@@ -10,6 +10,8 @@
 // FTMP scales symmetrically with per-message overhead independent of n,
 // paying one header per message plus heartbeats.
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "support.hpp"
 
@@ -22,6 +24,11 @@ struct ThroughputResult {
   double msgs_per_s = 0;
   double mbits_per_s = 0;
   double packets_per_msg = 0;
+  // Owned-buffer allocations / memcpy'd bytes per group-wide ordered
+  // delivery, from the process-global alloc statistics (common/bytes.hpp) —
+  // the zero-copy datagram path's figure of merit on the sim path.
+  double allocs_per_delivered = 0;
+  double copied_bytes_per_delivered = 0;
   bool complete = true;
 };
 
@@ -40,6 +47,7 @@ ThroughputResult run_ftmp_flood(int n, std::size_t payload, std::uint64_t seed) 
   cfg.heartbeat_interval = 5 * kMillisecond;
   cfg.fault_timeout = 5 * kSecond;
   FtmpFleet fleet(n, cfg, flood_lan(), seed);
+  alloc_stats_reset();  // measure the flood, not the connect handshake
   const TimePoint start = fleet.h.now();
   const std::uint64_t total = std::uint64_t(n) * kMessagesPerMember;
   // Bursty flood: every member injects 10 messages per millisecond, so the
@@ -60,10 +68,15 @@ ThroughputResult run_ftmp_flood(int n, std::size_t payload, std::uint64_t seed) 
       },
       start + 120 * kSecond);
   const double seconds = double(fleet.h.now() - start) / double(kSecond);
+  const AllocStats alloc = alloc_stats();
   ThroughputResult r;
   r.msgs_per_s = double(total) / seconds;
   r.mbits_per_s = r.msgs_per_s * double(payload) * 8 / 1e6;
   r.packets_per_msg = double(fleet.h.network().stats().packets_sent) / double(total);
+  // Every member delivers every message: n deliveries per injected message.
+  const double delivered = double(total) * n;
+  r.allocs_per_delivered = double(alloc.fresh_buffers + alloc.pool_hits) / delivered;
+  r.copied_bytes_per_delivered = double(alloc.copied_bytes) / delivered;
   r.complete = complete;
   return r;
 }
@@ -114,27 +127,90 @@ ThroughputResult run_baseline_flood(Protocol kind, int n, std::size_t payload,
 
 }  // namespace
 
-int main() {
+struct JsonRow {
+  int n;
+  std::size_t payload;
+  ThroughputResult result;
+};
+
+// Machine-readable summary for the CI perf-smoke job: FTMP msgs/s plus the
+// allocation/copy cost per delivered message on the sim path.
+void write_json(const char* path, bool quick, const std::vector<JsonRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "e9: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"e9_throughput\",\n  \"mode\": \"%s\",\n"
+                  "  \"ftmp\": [\n", quick ? "quick" : "full");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& row = rows[i];
+    std::fprintf(f,
+                 "    {\"n\": %d, \"payload_bytes\": %zu, \"msgs_per_s\": %.1f, "
+                 "\"packets_per_msg\": %.2f, \"allocs_per_delivered_msg\": %.3f, "
+                 "\"copied_bytes_per_delivered_msg\": %.1f, \"complete\": %s}%s\n",
+                 row.n, row.payload, row.result.msgs_per_s, row.result.packets_per_msg,
+                 row.result.allocs_per_delivered, row.result.copied_bytes_per_delivered,
+                 row.result.complete ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu FTMP configurations)\n", path, rows.size());
+}
+
+int main(int argc, char** argv) {
+  // --quick: the CI perf-smoke subset — small groups, no baselines.
+  bool quick = false;
+  const char* json_path = "BENCH_e9.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
   banner("E9", "totally-ordered throughput: flood runs (ordered msgs/s, group-wide)");
 
-  std::printf("%4s | %6s | %-10s | %11s | %9s | %11s\n", "n", "bytes", "protocol",
-              "msgs/s", "Mbit/s", "packets/msg");
-  std::printf("-----+--------+------------+-------------+-----------+------------\n");
-  for (int n : {2, 4, 8, 12}) {
-    for (std::size_t payload : {std::size_t{64}, std::size_t{512}, std::size_t{4096}}) {
-      for (Protocol proto : {Protocol::kFtmp, Protocol::kSequencer, Protocol::kTokenRing}) {
+  const std::vector<int> group_sizes = quick ? std::vector<int>{2, 4}
+                                             : std::vector<int>{2, 4, 8, 12};
+  const std::vector<std::size_t> payloads =
+      quick ? std::vector<std::size_t>{64, 512}
+            : std::vector<std::size_t>{64, 512, 4096};
+  const std::vector<Protocol> protocols =
+      quick ? std::vector<Protocol>{Protocol::kFtmp}
+            : std::vector<Protocol>{Protocol::kFtmp, Protocol::kSequencer,
+                                    Protocol::kTokenRing};
+  std::vector<JsonRow> json_rows;
+
+  std::printf("%4s | %6s | %-10s | %11s | %9s | %11s | %10s | %11s\n", "n", "bytes",
+              "protocol", "msgs/s", "Mbit/s", "packets/msg", "allocs/dlv", "copiedB/dlv");
+  std::printf("-----+--------+------------+-------------+-----------+-------------+"
+              "------------+------------\n");
+  for (int n : group_sizes) {
+    for (std::size_t payload : payloads) {
+      for (Protocol proto : protocols) {
         const ThroughputResult r =
             proto == Protocol::kFtmp
                 ? run_ftmp_flood(n, payload, 3000 + n)
                 : run_baseline_flood(proto, n, payload, 3000 + n);
-        std::printf("%4d | %6zu | %-10s | %11.0f | %9.2f | %11.1f%s\n", n, payload,
-                    to_string(proto), r.msgs_per_s, r.mbits_per_s, r.packets_per_msg,
-                    r.complete ? "" : "  [TIMEOUT]");
+        if (proto == Protocol::kFtmp) {
+          std::printf("%4d | %6zu | %-10s | %11.0f | %9.2f | %11.1f | %10.2f | %11.1f%s\n",
+                      n, payload, to_string(proto), r.msgs_per_s, r.mbits_per_s,
+                      r.packets_per_msg, r.allocs_per_delivered,
+                      r.copied_bytes_per_delivered, r.complete ? "" : "  [TIMEOUT]");
+          json_rows.push_back({n, payload, r});
+        } else {
+          std::printf("%4d | %6zu | %-10s | %11.0f | %9.2f | %11.1f | %10s | %11s%s\n",
+                      n, payload, to_string(proto), r.msgs_per_s, r.mbits_per_s,
+                      r.packets_per_msg, "-", "-", r.complete ? "" : "  [TIMEOUT]");
+        }
       }
     }
-    std::printf("-----+--------+------------+-------------+-----------+------------\n");
+    std::printf("-----+--------+------------+-------------+-----------+-------------+"
+                "------------+------------\n");
   }
   std::printf("%d msgs/member injected at 10 msgs/ms/member; run measured until every\n"
-              "member delivered everything (drain-rate limited).\n", kMessagesPerMember);
+              "member delivered everything (drain-rate limited). allocs/dlv and\n"
+              "copiedB/dlv: owned-buffer allocations and memcpy'd bytes per group-wide\n"
+              "ordered delivery (zero-copy path cost; excludes connect handshake).\n",
+              kMessagesPerMember);
+  write_json(json_path, quick, json_rows);
   return 0;
 }

@@ -1,7 +1,24 @@
-// bytes.hpp — byte-buffer alias and small helpers shared by all codecs.
+// bytes.hpp — byte-buffer alias, ref-counted immutable buffers and the
+// datagram buffer pool shared by all codecs and protocol layers.
+//
+// The zero-copy datagram path (docs/BUFFERS.md) rests on two pieces here:
+//
+//   * SharedBytes — an immutable, ref-counted view over an owned buffer.
+//     Slicing shares the owning control block, so one arrival buffer can be
+//     pinned simultaneously by the RMP retransmission store, the ROMP
+//     ordering buffer and a DeliveredMessage event without a single copy.
+//   * A small thread-local buffer pool. The few places that still must
+//     materialise bytes (UDP receive, fragment reassembly, the
+//     retransmit-flag patch) acquire recycled vectors instead of fresh
+//     heap allocations, and every acquisition/copy is counted in the
+//     process-global ftmp_stack_alloc_* statistics so benches can report
+//     allocations and bytes copied per delivered message.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,5 +47,123 @@ using BytesView = std::span<const std::uint8_t>;
   }
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Buffer pool (bytes.cpp). Thread-local freelists recycle vector capacity;
+// the statistics are process-global relaxed atomics, always compiled (the
+// benches read them even in FTMP_METRICS=OFF builds) and mirrored into the
+// metrics registry as ftmp_stack_alloc_* when metrics are enabled.
+// ---------------------------------------------------------------------------
+
+/// Allocation statistics for the shared-buffer layer, process-wide.
+struct AllocStats {
+  std::uint64_t fresh_buffers = 0;  ///< buffers newly heap-allocated
+  std::uint64_t pool_hits = 0;      ///< buffers served from a freelist
+  std::uint64_t copied_bytes = 0;   ///< bytes memcpy'd into owned buffers
+};
+
+/// Point-in-time copy of the process-global allocation statistics.
+[[nodiscard]] AllocStats alloc_stats();
+
+/// Zeroes the process-global allocation statistics (benches, tests).
+void alloc_stats_reset();
+
+/// Acquires a buffer from the calling thread's freelist (or the heap),
+/// sized to `size` zero-filled bytes with at least that much capacity.
+/// Counted as a pool hit or a fresh allocation.
+[[nodiscard]] Bytes pool_acquire(std::size_t size);
+
+namespace detail {
+/// Accounts one owned buffer materialised outside the pool (bytes.cpp).
+void note_adopted_buffer();
+/// Accounts bytes memcpy'd outside SharedBytes::copy_of (flag patches,
+/// fragment reassembly into pooled buffers).
+void note_copied_bytes(std::size_t n);
+}  // namespace detail
+
+/// An immutable, ref-counted slice of an owned byte buffer.
+///
+/// Copying and slicing share the owning control block — no byte is touched.
+/// The underlying storage is released (and, for pooled buffers, recycled)
+/// when the last SharedBytes referencing it is destroyed. Converts
+/// implicitly to BytesView, so every decoder and codec helper accepts it
+/// unchanged.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Adopts an owned buffer (implicit: existing `Datagram{addr, std::move(b)}`
+  /// call sites keep compiling). The buffer is NOT returned to the pool on
+  /// release — use `copy_of` / `share_pooled` for recyclable storage.
+  SharedBytes(Bytes&& owned)  // NOLINT(google-explicit-constructor)
+      : owner_(std::make_shared<const Bytes>(std::move(owned))) {
+    data_ = owner_->data();
+    size_ = owner_->size();
+    detail::note_adopted_buffer();
+  }
+
+  /// Copies `src` into a pooled buffer (counted in alloc_stats).
+  [[nodiscard]] static SharedBytes copy_of(BytesView src);
+
+  /// Wraps a buffer (typically from pool_acquire) so its storage returns to
+  /// the releasing thread's freelist when the last reference drops.
+  [[nodiscard]] static SharedBytes share_pooled(Bytes&& buf);
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const std::uint8_t* begin() const { return data_; }
+  [[nodiscard]] const std::uint8_t* end() const { return data_ + size_; }
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  /// Non-owning view over the slice.
+  [[nodiscard]] BytesView view() const { return {data_, size_}; }
+  operator BytesView() const { return view(); }  // NOLINT
+
+  /// A sub-slice sharing this buffer's control block (no copy). `offset`
+  /// and `len` are clamped to the slice bounds.
+  [[nodiscard]] SharedBytes slice(std::size_t offset, std::size_t len) const {
+    SharedBytes out;
+    if (offset > size_) offset = size_;
+    if (len > size_ - offset) len = size_ - offset;
+    out.owner_ = owner_;
+    out.data_ = data_ + offset;
+    out.size_ = len;
+    return out;
+  }
+
+  /// The tail of the slice from `offset` (no copy).
+  [[nodiscard]] SharedBytes slice(std::size_t offset) const {
+    return slice(offset, size_);
+  }
+
+  /// Materialises an independent Bytes copy (tests, persistence).
+  [[nodiscard]] Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+  /// True when both views share the same owning buffer (aliasing check).
+  [[nodiscard]] bool shares_buffer_with(const SharedBytes& other) const {
+    return owner_ != nullptr && owner_ == other.owner_;
+  }
+
+  /// Content equality (not identity) — keeps EXPECT_EQ against Bytes and
+  /// other SharedBytes working across the test suite.
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator==(const SharedBytes& a, const Bytes& b) {
+    return a.size_ == b.size() &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data(), a.size_) == 0);
+  }
+  friend bool operator==(const Bytes& a, const SharedBytes& b) { return b == a; }
+  friend bool operator<(const SharedBytes& a, const SharedBytes& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  std::shared_ptr<const Bytes> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 }  // namespace ftcorba

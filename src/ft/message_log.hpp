@@ -20,7 +20,9 @@ struct LogEntry {
   ConnectionId connection{};
   RequestNum request_num = 0;
   Timestamp timestamp = 0;  ///< FTMP delivery timestamp (total order position)
-  Bytes giop_message;
+  /// Shares (pins) the delivered buffer — recording a message costs a
+  /// refcount bump, not a payload copy.
+  SharedBytes giop_message;
 
   friend bool operator==(const LogEntry&, const LogEntry&) = default;
 };

@@ -21,7 +21,9 @@ struct DeliveredMessage {
   Timestamp timestamp = 0;
   ConnectionId connection{};
   RequestNum request_num = 0;
-  Bytes giop_message;
+  /// For a single-datagram message this is a zero-copy slice of the arrival
+  /// buffer; reassembled fragments arrive in a pooled buffer.
+  SharedBytes giop_message;
   /// Local time at which the stack delivered the message (latency metric).
   TimePoint delivered_at = 0;
 };

@@ -68,10 +68,10 @@ inline constexpr std::size_t kFragHeaderSize = 4 + 8 + 4 + 4;
 class Reassembler {
  public:
   /// Feeds one delivered Regular payload from `source`. Returns the
-  /// complete original payload when the final chunk arrives, nullopt while
-  /// the message is still partial or the chunk had to be discarded
-  /// (orphan tail, corrupt header).
-  [[nodiscard]] std::optional<Bytes> feed(ProcessorId source, BytesView payload) {
+  /// complete original payload (in a pooled, recyclable buffer) when the
+  /// final chunk arrives, nullopt while the message is still partial or the
+  /// chunk had to be discarded (orphan tail, corrupt header).
+  [[nodiscard]] std::optional<SharedBytes> feed(ProcessorId source, BytesView payload) {
     Reader r(payload, ByteOrder::kBig);
     try {
       for (std::size_t i = 0; i < 4; ++i) {
@@ -86,7 +86,9 @@ class Reassembler {
       }
       InProgress& ip = in_progress_[source];
       if (index == 0) {
-        ip = InProgress{message_id, total, 0, {}};
+        // Reassemble into a pooled buffer: its capacity is recycled once
+        // the delivered message is released upstream.
+        ip = InProgress{message_id, total, 0, pool_acquire(0)};
       } else if (ip.message_id != message_id || ip.next_index != index ||
                  ip.total != total) {
         // Orphan tail (joined mid-message) or sender restart: discard.
@@ -96,12 +98,13 @@ class Reassembler {
       }
       const BytesView chunk = r.rest();
       ip.data.insert(ip.data.end(), chunk.begin(), chunk.end());
+      detail::note_copied_bytes(chunk.size());
       ip.next_index += 1;
       if (ip.next_index == ip.total) {
         Bytes whole = std::move(ip.data);
         in_progress_.erase(source);
         reassembled_ += 1;
-        return whole;
+        return SharedBytes::share_pooled(std::move(whole));
       }
       return std::nullopt;
     } catch (const CodecError&) {

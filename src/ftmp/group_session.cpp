@@ -43,12 +43,12 @@ void GroupSession::bootstrap(TimePoint now, const std::vector<ProcessorId>& memb
   pump(now);
 }
 
-void GroupSession::init_from_add(TimePoint now, const Message& add_msg, BytesView raw) {
+void GroupSession::init_from_add(TimePoint now, const Message& add_msg, SharedBytes raw) {
   pgmp_.init_from_add(now, add_msg);
   // Feed the AddProcessor through the normal reliable path so it is stored,
   // counted in the sponsor's stream and (eventually) ordered here too —
   // on_add_ordered dedupes the self-join.
-  handle(now, add_msg, raw);
+  handle(now, Frame{add_msg.header, std::move(raw)});
   pump(now);
 }
 
@@ -57,18 +57,22 @@ bool GroupSession::is_member(ProcessorId p) const {
   return std::find(ms.begin(), ms.end(), p) != ms.end();
 }
 
-Header GroupSession::send_message(TimePoint now, Body body, McastAddress target) {
+Header GroupSession::stamp_header(TimePoint now, MessageType type) {
   Header h;
   h.byte_order = config_.byte_order;
   h.source = self_;
   h.destination_group = group_;
-  h.type = type_of(body);
-  const bool reliable = is_reliable(h.type);
-  h.sequence_number = reliable ? rmp_.assign_seq() : rmp_.last_sent();
+  h.type = type;
+  h.sequence_number = is_reliable(type) ? rmp_.assign_seq() : rmp_.last_sent();
   h.message_timestamp = romp_.stamp(now);
   h.ack_timestamp = romp_.ack_timestamp();
-  Bytes raw = encode_message(Message{h, std::move(body)});
-  if (reliable) {
+  return h;
+}
+
+void GroupSession::finish_send(TimePoint now, const Header& h, SharedBytes raw,
+                               McastAddress target) {
+  if (is_reliable(h.type)) {
+    // The store shares the outgoing buffer — no copy on the send path.
     rmp_.store(self_, h.sequence_number, raw);
     if (h.type == MessageType::kRegular) {
       flow_.note_sent(now, h.sequence_number, raw.size());
@@ -78,7 +82,32 @@ Header GroupSession::send_message(TimePoint now, Body body, McastAddress target)
   // resets the heartbeat timer (verbatim retransmissions do not).
   rmp_.note_sent(now);
   outbox_.packets.push_back(net::Datagram{target, std::move(raw)});
+}
+
+Header GroupSession::send_message(TimePoint now, Body body, McastAddress target) {
+  const Header h = stamp_header(now, type_of(body));
+  finish_send(now, h, SharedBytes(encode_message(Message{h, std::move(body)})),
+              target);
   return h;
+}
+
+void GroupSession::send_heartbeat(TimePoint now) {
+  const Header h = stamp_header(now, MessageType::kHeartbeat);
+  if (heartbeat_template_.empty()) {
+    heartbeat_template_ = encode_message(Message{h, HeartbeatBody{}});
+  } else {
+    // Every header field except the three below is constant per session:
+    // patch them into the cached encoding instead of re-encoding.
+    patch_header_u64(heartbeat_template_.data(), kSeqOffset, h.sequence_number,
+                     h.byte_order);
+    patch_header_u64(heartbeat_template_.data(), kMsgTimestampOffset,
+                     h.message_timestamp, h.byte_order);
+    patch_header_u64(heartbeat_template_.data(), kAckTimestampOffset,
+                     h.ack_timestamp, h.byte_order);
+  }
+  finish_send(now, h, SharedBytes::copy_of(heartbeat_template_), group_addr_);
+  heartbeats_sent_.add();
+  trace(now, metrics::TraceKind::kHeartbeatSent);
 }
 
 void GroupSession::emit_regular(TimePoint now, const ConnectionId& connection,
@@ -99,11 +128,20 @@ void GroupSession::emit_regular(TimePoint now, const ConnectionId& connection,
     }
     return;
   }
-  RegularBody body;
-  body.connection = connection;
-  body.request_num = request_num;
-  body.giop_message.assign(giop.begin(), giop.end());
-  send_message(now, std::move(body), group_addr_);
+  // Single-pass encapsulation: header, Regular prefix and GIOP payload are
+  // written into one buffer, so the payload is copied exactly once between
+  // the ORB handing it down and the datagram going out.
+  const Header h = stamp_header(now, MessageType::kRegular);
+  Writer w(h.byte_order);
+  encode_header(w, h);
+  w.u32(connection.client_domain.raw());
+  w.u32(connection.client_group.raw());
+  w.u32(connection.server_domain.raw());
+  w.u32(connection.server_group.raw());
+  w.u64(request_num);
+  w.raw(giop);
+  patch_message_size(w, static_cast<std::uint32_t>(w.size()));
+  finish_send(now, h, SharedBytes(std::move(w).take()), group_addr_);
 }
 
 bool GroupSession::send_regular(TimePoint now, const ConnectionId& connection,
@@ -216,24 +254,41 @@ bool GroupSession::resend_stored(ProcessorId source, SeqNum seq,
                                  std::optional<McastAddress> target) {
   auto raw = rmp_.stored(source, seq);
   if (!raw) return false;
-  outbox_.packets.push_back(
-      net::Datagram{target.value_or(group_addr_), Bytes(raw->begin(), raw->end())});
+  // Stored messages are byte-identical to the original transmission; the
+  // retransmission flag is patched into a pooled copy on this cold path.
+  outbox_.packets.push_back(net::Datagram{target.value_or(group_addr_),
+                                          with_retransmission_flag(*raw)});
   return true;
 }
 
-void GroupSession::handle(TimePoint now, const Message& msg, BytesView raw) {
+std::optional<Body> GroupSession::decode_body_checked(const Frame& frame) const {
+  try {
+    return decode_body(frame.header, frame.body());
+  } catch (const CodecError& e) {
+    // The fixed header was valid enough to route here, but the body is
+    // malformed: drop at the point of consumption.
+    FTC_LOG(kWarn) << to_string(self_) << " " << to_string(group_)
+                   << ": dropping " << to_string(frame.header.type)
+                   << " with malformed body: " << e.what();
+    return std::nullopt;
+  }
+}
+
+void GroupSession::handle(TimePoint now, const Frame& frame) {
+  const Header& h = frame.header;
   if (!active()) {
     // Lame-duck service: an evicted member still answers retransmission
     // requests from its stores so laggards can order the removal.
-    if (lame_duck(now) && msg.header.type == MessageType::kRetransmitRequest) {
-      rmp_.on_retransmit_request(now, std::get<RetransmitRequestBody>(msg.body));
-      for (RmpOut& out : rmp_.take_output()) {
-        apply_rmp_out(now, std::move(out));
+    if (lame_duck(now) && h.type == MessageType::kRetransmitRequest) {
+      if (auto body = decode_body_checked(frame)) {
+        rmp_.on_retransmit_request(now, std::get<RetransmitRequestBody>(*body));
+        for (RmpOut& out : rmp_.take_output()) {
+          apply_rmp_out(now, std::move(out));
+        }
       }
     }
     return;
   }
-  const Header& h = msg.header;
   pgmp_.note_heard(h.source, now);
   switch (h.type) {
     case MessageType::kHeartbeat:
@@ -247,15 +302,18 @@ void GroupSession::handle(TimePoint now, const Message& msg, BytesView raw) {
       // like a Heartbeat, in addition to soliciting retransmissions.
       rmp_.on_heartbeat(now, h);
       romp_.on_heartbeat(h, rmp_.contiguous(h.source));
-      rmp_.on_retransmit_request(now, std::get<RetransmitRequestBody>(msg.body));
+      if (auto body = decode_body_checked(frame)) {
+        rmp_.on_retransmit_request(now, std::get<RetransmitRequestBody>(*body));
+      }
       break;
     case MessageType::kConnectRequest:
       break;  // domain-level; never routed to a session
     default: {
       // Reliable, source-ordered path (Regular, Connect, AddProcessor,
-      // RemoveProcessor, Suspect, Membership).
+      // RemoveProcessor, Suspect, Membership). Bodies stay raw slices of
+      // the arrival buffer until delivery.
       RmpAccept accept{};
-      for (Message& m : rmp_.on_reliable(now, msg, raw, &accept)) {
+      for (Frame& m : rmp_.on_reliable(now, frame, &accept)) {
         route_source_ordered(now, m);
       }
       if (accept == RmpAccept::kOooDropped) {
@@ -268,52 +326,80 @@ void GroupSession::handle(TimePoint now, const Message& msg, BytesView raw) {
   pump(now);
 }
 
-void GroupSession::route_source_ordered(TimePoint now, const Message& msg) {
-  romp_.on_source_ordered(msg, now);
+void GroupSession::route_source_ordered(TimePoint now, const Frame& frame) {
+  romp_.on_source_ordered(frame, now);
   // Suspect and Membership are "Reliable: yes, Totally Ordered: no"
   // (Fig. 3): they reach PGMP straight from the source-ordered stream.
-  if (msg.header.type == MessageType::kSuspect) {
+  // Their bodies are decoded here — membership changes are the cold path.
+  const MessageType type = frame.header.type;
+  if (type != MessageType::kSuspect && type != MessageType::kMembership) return;
+  auto body = decode_body_checked(frame);
+  if (!body) return;
+  const Message msg{frame.header, std::move(*body)};
+  if (type == MessageType::kSuspect) {
     pgmp_.on_suspect(now, msg);
-  } else if (msg.header.type == MessageType::kMembership) {
+  } else {
     pgmp_.on_membership_msg(now, msg);
   }
 }
 
-void GroupSession::deliver_ordered(TimePoint now, const Message& msg) {
-  switch (msg.header.type) {
+void GroupSession::deliver_ordered(TimePoint now, const Frame& frame) {
+  switch (frame.header.type) {
     case MessageType::kRegular: {
-      const auto& body = std::get<RegularBody>(msg.body);
+      // Hot path: parse the fixed Regular prefix (connection + request
+      // number) in place and hand the GIOP payload up as a slice of the
+      // arrival buffer — no variant decode, no copy.
       DeliveredMessage ev;
       ev.group = group_;
-      ev.source = msg.header.source;
-      ev.seq = msg.header.sequence_number;
-      ev.timestamp = msg.header.message_timestamp;
-      ev.connection = body.connection;
-      ev.request_num = body.request_num;
+      ev.source = frame.header.source;
+      ev.seq = frame.header.sequence_number;
+      ev.timestamp = frame.header.message_timestamp;
       ev.delivered_at = now;
-      if (looks_like_fragment(body.giop_message)) {
-        auto whole = reassembler_.feed(msg.header.source, body.giop_message);
+      SharedBytes giop;
+      try {
+        Reader r(frame.body(), frame.header.byte_order);
+        ev.connection.client_domain = FtDomainId{r.u32()};
+        ev.connection.client_group = ObjectGroupId{r.u32()};
+        ev.connection.server_domain = FtDomainId{r.u32()};
+        ev.connection.server_group = ObjectGroupId{r.u32()};
+        ev.request_num = r.u64();
+      } catch (const CodecError& e) {
+        FTC_LOG(kWarn) << to_string(self_) << " " << to_string(group_)
+                       << ": dropping Regular with malformed body: " << e.what();
+        break;
+      }
+      giop = frame.raw.slice(kHeaderSize + kRegularPrefixSize);
+      if (looks_like_fragment(giop)) {
+        auto whole = reassembler_.feed(frame.header.source, giop);
         if (!whole) break;  // partial (or orphan tail): nothing to deliver yet
         ev.giop_message = std::move(*whole);
       } else {
-        ev.giop_message = body.giop_message;
+        ev.giop_message = std::move(giop);
       }
       outbox_.events.emplace_back(std::move(ev));
       break;
     }
-    case MessageType::kAddProcessor:
-      pgmp_.on_add_ordered(now, msg);
+    case MessageType::kAddProcessor: {
+      if (auto body = decode_body_checked(frame)) {
+        pgmp_.on_add_ordered(now, Message{frame.header, std::move(*body)});
+      }
       break;
-    case MessageType::kRemoveProcessor:
-      pgmp_.on_remove_ordered(now, msg);
+    }
+    case MessageType::kRemoveProcessor: {
+      if (auto body = decode_body_checked(frame)) {
+        pgmp_.on_remove_ordered(now, Message{frame.header, std::move(*body)});
+      }
       break;
+    }
     case MessageType::kConnect: {
       // Establishment Connects are handled at the Stack. An ordered
       // Connect that names this group with a *different* multicast address
       // is a rebind (§7): switch and start the flush.
-      const auto& body = std::get<ConnectBody>(msg.body);
-      if (body.processor_group == group_ && body.multicast_address != group_addr_) {
-        begin_rebind(now, msg);
+      auto body = decode_body_checked(frame);
+      if (!body) break;
+      const auto& cb = std::get<ConnectBody>(*body);
+      if (cb.processor_group == group_ && cb.multicast_address != group_addr_) {
+        begin_rebind(now, Message{frame.header, std::move(*body)});
       }
       break;
     }
@@ -342,7 +428,7 @@ void GroupSession::apply_rmp_out(TimePoint now, RmpOut&& out) {
 }
 
 void GroupSession::emit_install(TimePoint now, InstallOut&& install) {
-  for (Message& m : install.remainder) {
+  for (Frame& m : install.remainder) {
     if (m.header.type == MessageType::kRegular) {
       deliver_ordered(now, m);
     } else if (m.header.type == MessageType::kAddProcessor ||
@@ -392,7 +478,7 @@ void GroupSession::pump(TimePoint now) {
   bool progress = true;
   while (progress) {
     progress = false;
-    for (Message& m : romp_.collect_deliverable(now)) {
+    for (Frame& m : romp_.collect_deliverable(now)) {
       deliver_ordered(now, m);
       progress = true;
     }
@@ -446,9 +532,7 @@ void GroupSession::tick(TimePoint now) {
     // Lame-duck heartbeats carry fresh timestamps so members that have not
     // yet ordered our removal can keep ordering.
     if (lame_duck(now) && rmp_.heartbeat_due(now)) {
-      send_message(now, HeartbeatBody{}, group_addr_);
-      heartbeats_sent_.add();
-      trace(now, metrics::TraceKind::kHeartbeatSent);
+      send_heartbeat(now);
     }
     return;
   }
@@ -456,12 +540,11 @@ void GroupSession::tick(TimePoint now) {
   rmp_.on_tick(now);
   check_flow_lag(now);
   if (rmp_.heartbeat_due(now)) {
-    send_message(now, HeartbeatBody{}, group_addr_);
-    heartbeats_sent_.add();
-    trace(now, metrics::TraceKind::kHeartbeatSent);
+    send_heartbeat(now);
     // While the old address is retiring, members that have not yet ordered
     // the rebind Connect still need fresh timestamps to make it
-    // deliverable — heartbeat on both addresses.
+    // deliverable — heartbeat on both addresses (a Datagram copy is just a
+    // refcount bump).
     if (old_addr_ && !outbox_.packets.empty()) {
       net::Datagram echo = outbox_.packets.back();
       echo.addr = *old_addr_;

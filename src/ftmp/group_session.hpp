@@ -42,8 +42,9 @@ class GroupSession {
   void bootstrap(TimePoint now, const std::vector<ProcessorId>& members);
 
   /// Initializes this processor as the new member named by `add_msg`
-  /// (an AddProcessor received on the group address).
-  void init_from_add(TimePoint now, const Message& add_msg, BytesView raw);
+  /// (an AddProcessor received on the group address). `raw` is the encoded
+  /// datagram, retained (not copied) by the retransmission store.
+  void init_from_add(TimePoint now, const Message& add_msg, SharedBytes raw);
 
   /// False once evicted from the group.
   [[nodiscard]] bool active() const { return pgmp_.active(); }
@@ -58,9 +59,10 @@ class GroupSession {
            now - *deactivated_at_ < 4 * config_.fault_timeout;
   }
 
-  /// Handles any group-addressed FTMP message except ConnectRequest (which
-  /// is domain-level and never reaches a session).
-  void handle(TimePoint now, const Message& msg, BytesView raw);
+  /// Handles any group-addressed FTMP frame except ConnectRequest (which
+  /// is domain-level and never reaches a session). Only the fixed header
+  /// has been decoded; the body stays raw until the point of delivery.
+  void handle(TimePoint now, const Frame& frame);
 
   /// Timer work: fault detector, NACK refresh, heartbeats, join resends.
   void tick(TimePoint now);
@@ -138,17 +140,37 @@ class GroupSession {
   /// Returns the header actually sent.
   Header send_message(TimePoint now, Body body, McastAddress target);
 
+  /// Stamps an outgoing header (sequence number, timestamps) without
+  /// encoding anything.
+  Header stamp_header(TimePoint now, MessageType type);
+
+  /// Finishes a send: stores reliable messages, updates flow accounting and
+  /// the heartbeat timer, and queues the datagram.
+  void finish_send(TimePoint now, const Header& h, SharedBytes raw,
+                   McastAddress target);
+
+  /// Multicasts a Heartbeat from the per-session encoded template: the
+  /// 45-byte header is encoded once and only the sequence-number and
+  /// timestamp fields are patched per tick.
+  void send_heartbeat(TimePoint now);
+
   /// Transmits a Regular payload immediately, fragmenting if it exceeds
-  /// the configured datagram budget.
+  /// the configured datagram budget. The single-datagram path encodes
+  /// header + body + GIOP payload in one pass into one buffer.
   void emit_regular(TimePoint now, const ConnectionId& connection,
                     RequestNum request_num, BytesView giop);
+
+  /// Decodes a frame's body at its point of consumption. Returns nullopt
+  /// (and logs) when the body is malformed — the header was valid enough to
+  /// route, so the frame is dropped here rather than at ingress.
+  std::optional<Body> decode_body_checked(const Frame& frame) const;
 
   /// Delivers messages that became totally ordered, applies PGMP and RMP
   /// outputs, and advances stability — repeated until quiescent.
   void pump(TimePoint now);
 
-  void route_source_ordered(TimePoint now, const Message& msg);
-  void deliver_ordered(TimePoint now, const Message& msg);
+  void route_source_ordered(TimePoint now, const Frame& frame);
+  void deliver_ordered(TimePoint now, const Frame& frame);
   void apply_pgmp_out(TimePoint now, PgmpOut&& out);
   void apply_rmp_out(TimePoint now, RmpOut&& out);
   void emit_install(TimePoint now, InstallOut&& install);
@@ -205,6 +227,10 @@ class GroupSession {
   // Large-payload fragmentation (fragment.hpp).
   std::uint64_t fragment_counter_ = 0;
   Reassembler reassembler_;
+
+  // Cached encoded Heartbeat (constant fields encoded once; seq/timestamps
+  // patched in place per send — see send_heartbeat).
+  Bytes heartbeat_template_;
 
   // When this member was evicted (lame-duck bookkeeping).
   std::optional<TimePoint> deactivated_at_;

@@ -191,6 +191,13 @@ MessageType type_of(const Body& body) {
       body);
 }
 
+Body decode_body(const Header& header, BytesView body_bytes) {
+  Reader r(body_bytes, header.byte_order);
+  Body b = decode_body(header.type, r);
+  if (!r.exhausted()) throw CodecError("trailing bytes after body");
+  return b;
+}
+
 Bytes encode_message(const Message& message) {
   Header header = message.header;
   header.type = type_of(message.body);

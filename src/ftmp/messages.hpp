@@ -139,8 +139,32 @@ struct Message {
   friend bool operator==(const Message&, const Message&) = default;
 };
 
+/// Encoded size of the fixed Regular-body prefix (connection id, four u32
+/// fields, + u64 request number) that precedes the GIOP payload. The hot
+/// delivery path parses it in place and slices the payload after it.
+inline constexpr std::size_t kRegularPrefixSize = 4 * 4 + 8;
+
+/// A received message on the zero-copy path: the decoded fixed header plus
+/// a ref-counted slice of the arrival datagram. Frames flow from
+/// Stack::on_datagram through RMP's out-of-order buffer and ROMP's ordering
+/// buffer without their bodies ever being decoded; `decode_body` runs once
+/// at the single point of delivery (docs/BUFFERS.md).
+struct Frame {
+  Header header;
+  SharedBytes raw;  ///< the full datagram, header included
+
+  /// The encoded body (everything after the fixed header), zero-copy.
+  [[nodiscard]] SharedBytes body() const { return raw.slice(kHeaderSize); }
+};
+
 /// The MessageType implied by a body alternative.
 [[nodiscard]] MessageType type_of(const Body& body);
+
+/// Decodes the body of a message whose header was already decoded (the
+/// deferred half of the zero-copy split). `body_bytes` is everything after
+/// the fixed header; byte order and type come from `header`. Throws
+/// CodecError on malformed input (including trailing garbage).
+[[nodiscard]] Body decode_body(const Header& header, BytesView body_bytes);
 
 /// Encodes header + body into a wire datagram payload. Sets
 /// header.message_size and header.type from the actual encoding; the byte

@@ -72,7 +72,7 @@ struct ResendStoredOut {
 /// were delivered as part of the cut, the membership event, and fault
 /// reports for convicted processors.
 struct InstallOut {
-  std::vector<Message> remainder;  ///< old-epoch Regular messages, in order
+  std::vector<Frame> remainder;  ///< old-epoch Regular frames, in order
   MembershipChanged change;
   std::vector<FaultReport> faults;
   bool self_evicted = false;

@@ -7,9 +7,6 @@
 namespace ftcorba::ftmp {
 
 namespace {
-// Byte offset of the retransmission flag in the encoded header:
-// magic(4) + version(2) + byte-order(1).
-constexpr std::size_t kRetransFlagOffset = 7;
 // At most this many messages are retransmitted per RetransmitRequest; the
 // requester re-NACKs for the remainder (bounds burst size).
 constexpr std::size_t kMaxRetransmitBurst = 64;
@@ -121,26 +118,26 @@ bool Rmp::complete(ProcessorId src) const {
   return it == sources_.end() || it->second.contiguous == it->second.highest_seen;
 }
 
-void Rmp::store(ProcessorId src, SeqNum seq, BytesView raw) {
+void Rmp::store(ProcessorId src, SeqNum seq, SharedBytes raw) {
   auto key = std::make_pair(src.raw(), seq);
   if (store_.contains(key)) return;
-  Bytes copy(raw.begin(), raw.end());
-  // Pre-set the retransmission flag so stored copies can be re-multicast
-  // verbatim ("The retransmitted message is identical to the original", §5 —
-  // except for this flag, which is "true for all subsequent
-  // retransmissions", §3.2).
-  if (copy.size() > kRetransFlagOffset) copy[kRetransFlagOffset] = 1;
-  stored_bytes_ += copy.size();
-  metrics_.store_bytes.add(static_cast<std::int64_t>(copy.size()));
-  store_.emplace(key, std::move(copy));
+  // The slice is kept exactly as transmitted/received ("The retransmitted
+  // message is identical to the original", §5). The retransmission flag —
+  // "true for all subsequent retransmissions", §3.2 — is patched into a
+  // pooled copy by with_retransmission_flag only when a retransmission is
+  // actually sent, so storing a received message pins the arrival buffer
+  // instead of copying it.
+  stored_bytes_ += raw.size();
+  metrics_.store_bytes.add(static_cast<std::int64_t>(raw.size()));
+  store_.emplace(key, std::move(raw));
 }
 
-std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw,
-                                      RmpAccept* accept) {
+std::vector<Frame> Rmp::on_reliable(TimePoint now, Frame frame,
+                                    RmpAccept* accept) {
   RmpAccept sink;
   RmpAccept& disposed = accept ? *accept : sink;
-  const ProcessorId src = msg.header.source;
-  const SeqNum seq = msg.header.sequence_number;
+  const ProcessorId src = frame.header.source;
+  const SeqNum seq = frame.header.sequence_number;
   auto it = sources_.find(src);
   if (it == sources_.end()) {
     stats_.dropped_unknown_source += 1;
@@ -150,7 +147,7 @@ std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw,
   }
   SourceState& st = it->second;
 
-  if (msg.header.message_timestamp <= st.min_timestamp) {
+  if (frame.header.message_timestamp <= st.min_timestamp) {
     // A straggler from a previous incarnation of this source id (e.g. a
     // retransmission served by a member that has not yet processed the
     // re-add): poisonous if accepted into the fresh stream.
@@ -166,15 +163,15 @@ std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw,
     return {};
   }
 
-  store(src, seq, raw);
+  store(src, seq, frame.raw);
   st.highest_seen = std::max(st.highest_seen, seq);
 
-  std::vector<Message> deliver;
+  std::vector<Frame> deliver;
   if (seq == st.contiguous + 1) {
     disposed = RmpAccept::kDelivered;
     st.contiguous = seq;
     stats_.delivered_in_order += 1;
-    deliver.push_back(std::move(msg));
+    deliver.push_back(std::move(frame));
     // Drain any buffered messages that are now contiguous.
     auto next = st.out_of_order.find(st.contiguous + 1);
     while (next != st.out_of_order.end()) {
@@ -189,7 +186,7 @@ std::vector<Message> Rmp::on_reliable(TimePoint now, Message msg, BytesView raw,
     if (config_.max_out_of_order_buffer == 0 ||
         st.out_of_order.size() < config_.max_out_of_order_buffer) {
       disposed = RmpAccept::kBuffered;
-      st.out_of_order.emplace(seq, std::move(msg));
+      st.out_of_order.emplace(seq, std::move(frame));
       metrics_.out_of_order.add(1);
     } else {
       // At the cap the message is not buffered, but its stored copy (and
@@ -234,7 +231,9 @@ void Rmp::on_retransmit_request(TimePoint now, const RetransmitRequestBody& body
       continue;  // someone (maybe us) answered this very recently
     }
     last_retransmit_[key] = now;
-    output_.emplace_back(RetransmitOut{it->second});
+    // Patch the retransmission flag into a pooled copy here, on the cold
+    // path, so the store itself keeps arrival slices byte-identical.
+    output_.emplace_back(RetransmitOut{with_retransmission_flag(it->second)});
     stats_.retransmissions_sent += 1;
     metrics_.retransmits_served.add();
     ++sent;
@@ -292,7 +291,7 @@ void Rmp::note_exists(TimePoint now, ProcessorId src, SeqNum seq) {
 std::optional<BytesView> Rmp::stored(ProcessorId src, SeqNum seq) const {
   auto it = store_.find({src.raw(), seq});
   if (it == store_.end()) return std::nullopt;
-  return BytesView{it->second};
+  return it->second.view();
 }
 
 void Rmp::pin_store(std::uint32_t token,

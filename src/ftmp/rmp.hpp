@@ -33,10 +33,12 @@ struct NackOut {
   SeqNum stop = 0;
 };
 
-/// RMP asks the session to re-multicast a stored message verbatim (the
-/// retransmission flag has already been set in `raw`).
+/// RMP asks the session to re-multicast a stored message. `raw` is a pooled
+/// copy of the stored original with the retransmission flag set (the flag is
+/// patched on this cold path so the store can hold zero-copy arrival slices
+/// untouched).
 struct RetransmitOut {
-  Bytes raw;
+  SharedBytes raw;
 };
 
 /// An output produced by the RMP layer itself.
@@ -120,8 +122,11 @@ class Rmp {
   void set_last_sent(SeqNum s) { last_sent_ = s; }
 
   /// Stores an encoded reliable message (own or received) so it can answer
-  /// future RetransmitRequests. Keyed by (original source, seq).
-  void store(ProcessorId src, SeqNum seq, BytesView raw);
+  /// future RetransmitRequests. Keyed by (original source, seq). The slice
+  /// is retained as-is — for a received message this pins the arrival
+  /// buffer instead of copying it; the retransmission flag is patched into
+  /// a pooled copy only when a retransmission is actually sent.
+  void store(ProcessorId src, SeqNum seq, SharedBytes raw);
 
   /// Records that this processor multicast something to the group at `now`
   /// (resets the heartbeat timer).
@@ -136,14 +141,15 @@ class Rmp {
   // ---- receiving side ----
 
   /// Handles a reliable message (Regular, Connect, AddProcessor,
-  /// RemoveProcessor, Suspect, Membership). Returns the messages that are
-  /// now deliverable in source order (possibly empty, possibly several when
-  /// a gap fills). May queue NACKs. `accept`, when non-null, receives how
-  /// the message was disposed of (notably kOooDropped at the buffer cap,
-  /// which is otherwise invisible to the caller).
-  [[nodiscard]] std::vector<Message> on_reliable(TimePoint now, Message msg,
-                                                 BytesView raw,
-                                                 RmpAccept* accept = nullptr);
+  /// RemoveProcessor, Suspect, Membership), presented as a Frame: decoded
+  /// header + the raw datagram slice (body not yet decoded). Returns the
+  /// frames that are now deliverable in source order (possibly empty,
+  /// possibly several when a gap fills). May queue NACKs. `accept`, when
+  /// non-null, receives how the message was disposed of (notably
+  /// kOooDropped at the buffer cap, which is otherwise invisible to the
+  /// caller).
+  [[nodiscard]] std::vector<Frame> on_reliable(TimePoint now, Frame frame,
+                                               RmpAccept* accept = nullptr);
 
   /// Handles a Heartbeat header: updates gap knowledge from the carried
   /// sequence number and schedules NACKs for revealed gaps. The heartbeat
@@ -165,8 +171,9 @@ class Rmp {
   void note_exists(TimePoint now, ProcessorId src, SeqNum seq);
 
   /// Returns the stored encoded message for (src, seq) if this processor
-  /// holds it (retransmission flag pre-set). Used by the sponsor to
-  /// re-multicast an AddProcessor toward a new member.
+  /// holds it — byte-identical to the original transmission; callers that
+  /// re-multicast it apply with_retransmission_flag first. Used by the
+  /// sponsor to re-multicast an AddProcessor toward a new member.
   [[nodiscard]] std::optional<BytesView> stored(ProcessorId src, SeqNum seq) const;
 
   /// Pins the store on behalf of a joining member (`token`): messages from
@@ -203,7 +210,7 @@ class Rmp {
     SeqNum contiguous = 0;    // all seqs <= this received
     SeqNum highest_seen = 0;  // max seq observed (gaps possible)
     Timestamp min_timestamp = 0;  // incarnation floor (see add_source)
-    std::map<SeqNum, Message> out_of_order;
+    std::map<SeqNum, Frame> out_of_order;
     TimePoint last_nack = -1'000'000'000;
     TimePoint gap_open_since = -1;  // when the oldest open gap was detected
   };
@@ -232,9 +239,10 @@ class Rmp {
   SeqNum last_sent_ = 0;
   TimePoint last_sent_time_ = 0;
   std::unordered_map<ProcessorId, SourceState> sources_;
-  // Retransmission store: (source, seq) -> encoded message with the
-  // retransmission flag pre-set.
-  std::map<std::pair<std::uint32_t, SeqNum>, Bytes> store_;
+  // Retransmission store: (source, seq) -> encoded message, byte-identical
+  // to the original transmission (for received messages this is a slice of
+  // the arrival buffer; the retransmission flag is patched at send time).
+  std::map<std::pair<std::uint32_t, SeqNum>, SharedBytes> store_;
   // Active store pins: token -> (source -> keep messages with seq > floor).
   std::map<std::uint32_t, std::map<std::uint32_t, SeqNum>> pins_;
   std::map<std::pair<std::uint32_t, SeqNum>, TimePoint> last_retransmit_;

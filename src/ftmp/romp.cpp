@@ -59,7 +59,7 @@ Romp::Romp(ProcessorId self, const Config& config)
 }
 
 void Romp::erase_pending(
-    std::map<std::pair<Timestamp, std::uint32_t>, Message>::iterator it) {
+    std::map<std::pair<Timestamp, std::uint32_t>, Frame>::iterator it) {
   pending_arrival_.erase(it->first);
   pending_.erase(it);
   metrics_.pending.add(-1);
@@ -125,15 +125,15 @@ void Romp::observe_header(const Header& h) {
   ack = std::max(ack, h.ack_timestamp);
 }
 
-void Romp::on_source_ordered(const Message& msg, TimePoint now) {
-  const Header& h = msg.header;
+void Romp::on_source_ordered(const Frame& frame, TimePoint now) {
+  const Header& h = frame.header;
   observe_header(h);
   Timestamp& b = bounds_[h.source];
   b = std::max(b, h.message_timestamp);
   unstable_[h.source][h.message_timestamp] = h.sequence_number;
   if (is_totally_ordered(h.type)) {
     const auto key = std::make_pair(h.message_timestamp, h.source.raw());
-    if (pending_.emplace(key, msg).second) {
+    if (pending_.emplace(key, frame).second) {
       pending_arrival_.emplace(key, now);
       metrics_.pending.add(1);
     }
@@ -173,8 +173,8 @@ void Romp::on_heartbeat(const Header& header, SeqNum contiguous_seq) {
   }
 }
 
-std::vector<Message> Romp::collect_deliverable(TimePoint now) {
-  std::vector<Message> out;
+std::vector<Frame> Romp::collect_deliverable(TimePoint now) {
+  std::vector<Frame> out;
   if (pending_.empty() || members_.empty()) return out;
   // min over members of bound; any member never heard from stalls delivery
   // (bound 0), which is precisely the "ordering of messages stops until
@@ -183,7 +183,7 @@ std::vector<Message> Romp::collect_deliverable(TimePoint now) {
   for (ProcessorId q : members_) min_bound = std::min(min_bound, bound(q));
   const Timestamp stable = stable_timestamp();
   while (!pending_.empty() && pending_.begin()->first.first <= min_bound) {
-    Message& m = pending_.begin()->second;
+    Frame& m = pending_.begin()->second;
     SeqNum& lo = last_ordered_[m.header.source];
     lo = std::max(lo, m.header.sequence_number);
     mark_consumed(m.header.source, m.header.sequence_number);
@@ -250,12 +250,12 @@ std::vector<std::pair<ProcessorId, SeqNum>> Romp::collect_stable() {
   return out;
 }
 
-std::vector<Message> Romp::drain_up_to_cut(
+std::vector<Frame> Romp::drain_up_to_cut(
     const std::map<ProcessorId, SeqNum>& cuts,
     const std::set<ProcessorId>& survivors) {
-  std::vector<Message> out;
+  std::vector<Frame> out;
   for (auto it = pending_.begin(); it != pending_.end();) {
-    const Message& m = it->second;
+    const Frame& m = it->second;
     const ProcessorId src = m.header.source;
     auto cut = cuts.find(src);
     const SeqNum limit = cut == cuts.end() ? 0 : cut->second;

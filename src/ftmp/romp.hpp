@@ -95,13 +95,13 @@ class Romp {
 
   // ---- inputs ----
 
-  /// A reliable message from RMP, in source order. Raises bound(source),
-  /// witnesses the timestamp, records ack knowledge, and — if the type is
-  /// totally ordered (Regular, Connect, AddProcessor, RemoveProcessor,
-  /// Fig. 3) — adds it to the pending set.
+  /// A reliable frame from RMP, in source order (header decoded, body
+  /// still raw). Raises bound(source), witnesses the timestamp, records ack
+  /// knowledge, and — if the type is totally ordered (Regular, Connect,
+  /// AddProcessor, RemoveProcessor, Fig. 3) — adds it to the pending set.
   /// `now` (when the caller has it) feeds the ordering-wait histogram; the
   /// default keeps time-less unit-test call sites valid.
-  void on_source_ordered(const Message& msg, TimePoint now = 0);
+  void on_source_ordered(const Frame& frame, TimePoint now = 0);
 
   /// A Heartbeat header (unreliable direct delivery from RMP).
   /// `contiguous_seq` is RMP's contiguously-received sequence for the
@@ -111,9 +111,9 @@ class Romp {
 
   // ---- ordered delivery ----
 
-  /// Pops every pending message that is now deliverable, in delivery
+  /// Pops every pending frame that is now deliverable, in delivery
   /// (total) order.
-  [[nodiscard]] std::vector<Message> collect_deliverable(TimePoint now = 0);
+  [[nodiscard]] std::vector<Frame> collect_deliverable(TimePoint now = 0);
 
   /// Number of messages awaiting order.
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
@@ -153,7 +153,7 @@ class Romp {
   /// change: pops pending messages with seq <= cuts[source] in total order;
   /// drops pending messages from sources not in `survivors` beyond their
   /// cut. Survivors' beyond-cut messages stay pending for the new epoch.
-  [[nodiscard]] std::vector<Message> drain_up_to_cut(
+  [[nodiscard]] std::vector<Frame> drain_up_to_cut(
       const std::map<ProcessorId, SeqNum>& cuts,
       const std::set<ProcessorId>& survivors);
 
@@ -162,7 +162,7 @@ class Romp {
 
  private:
   void observe_header(const Header& h);
-  void erase_pending(std::map<std::pair<Timestamp, std::uint32_t>, Message>::iterator it);
+  void erase_pending(std::map<std::pair<Timestamp, std::uint32_t>, Frame>::iterator it);
 
   // Process-global instruments shared by every Romp instance (docs/METRICS.md).
   struct Instruments {
@@ -179,8 +179,9 @@ class Romp {
   std::set<ProcessorId> members_;
   std::unordered_map<ProcessorId, Timestamp> bounds_;
   std::unordered_map<ProcessorId, Timestamp> last_acks_;
-  // Pending totally-ordered messages, keyed by delivery order (ts, src).
-  std::map<std::pair<Timestamp, std::uint32_t>, Message> pending_;
+  // Pending totally-ordered frames (raw bodies, zero-copy slices of their
+  // arrival buffers), keyed by delivery order (ts, src).
+  std::map<std::pair<Timestamp, std::uint32_t>, Frame> pending_;
   // Arrival wall-clock per pending key (0 when the caller had no time),
   // feeding the ordering-wait histogram.
   std::map<std::pair<Timestamp, std::uint32_t>, TimePoint> pending_arrival_;

@@ -249,35 +249,57 @@ void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
     malformed_.add();
     return;
   }
-  Message msg;
-  try {
-    msg = decode_message(datagram.payload);
-  } catch (const CodecError& e) {
+  // Hot path: decode only the fixed 45-byte header; the body stays a raw
+  // slice of the arrival buffer and is decoded once, at its point of
+  // consumption (docs/BUFFERS.md).
+  const HeaderView hv = try_decode_header(datagram.payload);
+  if (!hv) {
     stats_.malformed_datagrams += 1;
     malformed_.add();
-    FTC_LOG(kDebug) << to_string(self_) << ": dropping malformed datagram: " << e.what();
+    FTC_LOG(kDebug) << to_string(self_) << ": dropping malformed datagram: " << hv.error;
     return;
   }
+  const Frame frame{hv.header, datagram.payload};
 
-  switch (msg.header.type) {
-    case MessageType::kConnectRequest:
-      server_on_connect_request(now, msg);
+  // The few message types the Stack itself consumes (connection
+  // establishment and session-less joins) need their bodies here; a
+  // malformed body on these cold paths counts exactly as it did when
+  // ingress decoded everything.
+  const auto decode_full = [&]() -> std::optional<Message> {
+    try {
+      return Message{frame.header, decode_body(frame.header, frame.body())};
+    } catch (const CodecError& e) {
+      stats_.malformed_datagrams += 1;
+      malformed_.add();
+      FTC_LOG(kDebug) << to_string(self_) << ": dropping malformed datagram: " << e.what();
+      return std::nullopt;
+    }
+  };
+
+  switch (frame.header.type) {
+    case MessageType::kConnectRequest: {
+      if (const auto msg = decode_full()) server_on_connect_request(now, *msg);
       break;
+    }
     case MessageType::kConnect: {
-      client_on_connect(now, msg);
-      if (GroupSession* s = this->group(msg.header.destination_group)) {
-        s->handle(now, msg, datagram.payload);
+      const auto msg = decode_full();
+      if (!msg) break;
+      client_on_connect(now, *msg);
+      if (GroupSession* s = this->group(frame.header.destination_group)) {
+        s->handle(now, frame);
       }
       break;
     }
     case MessageType::kAddProcessor: {
-      if (GroupSession* s = this->group(msg.header.destination_group)) {
-        s->handle(now, msg, datagram.payload);
+      if (GroupSession* s = this->group(frame.header.destination_group)) {
+        s->handle(now, frame);
         break;
       }
-      const auto& body = std::get<AddProcessorBody>(msg.body);
-      auto expected = expected_joins_.find(msg.header.destination_group);
-      auto floor = join_ts_floor_.find(msg.header.destination_group);
+      const auto msg = decode_full();
+      if (!msg) break;
+      const auto& body = std::get<AddProcessorBody>(msg->body);
+      auto expected = expected_joins_.find(frame.header.destination_group);
+      auto floor = join_ts_floor_.find(frame.header.destination_group);
       if (floor != join_ts_floor_.end() &&
           body.current_membership.timestamp < floor->second) {
         // A retransmission of an AddProcessor from an earlier incarnation
@@ -287,8 +309,8 @@ void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
       } else if (body.new_member == self_ && expected != expected_joins_.end()) {
         const McastAddress addr = expected->second;
         expected_joins_.erase(expected);
-        make_session(msg.header.destination_group, addr)
-            .init_from_add(now, msg, datagram.payload);
+        make_session(frame.header.destination_group, addr)
+            .init_from_add(now, *msg, frame.raw);
       } else {
         stats_.unroutable_datagrams += 1;
         unroutable_.add();
@@ -296,8 +318,8 @@ void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
       break;
     }
     default: {
-      if (GroupSession* s = this->group(msg.header.destination_group)) {
-        s->handle(now, msg, datagram.payload);
+      if (GroupSession* s = this->group(frame.header.destination_group)) {
+        s->handle(now, frame);
       } else {
         stats_.unroutable_datagrams += 1;
         unroutable_.add();

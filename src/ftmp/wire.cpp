@@ -4,8 +4,92 @@ namespace ftcorba::ftmp {
 
 namespace {
 constexpr std::uint8_t kMagic[4] = {'F', 'T', 'M', 'P'};
-// Offset of the message-size field from the start of the header.
-constexpr std::size_t kSizeFieldOffset = 4 + 2 + 1 + 1;
+
+// Field widths, used by the truncation diagnostics below so the
+// non-throwing decoder reports exactly what the Reader-based one threw.
+[[nodiscard]] std::uint64_t load_int(const std::uint8_t* p, std::size_t width,
+                                     ByteOrder order) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t shift = order == ByteOrder::kBig ? (width - 1 - i) * 8 : i * 8;
+    v |= static_cast<std::uint64_t>(p[i]) << shift;
+  }
+  return v;
+}
+
+// Decodes the fixed header prefix of `datagram` without throwing. Checks
+// run in the exact order of the historical Reader-based decoder — magic
+// byte-by-byte, version, byte-order flag, retransmission flag, size, type,
+// then the remaining fixed fields — with the same error wording, including
+// the Reader's "read past end: need N at P of S" for truncation.
+[[nodiscard]] HeaderView decode_prefix(BytesView datagram) {
+  HeaderView out;
+  const std::size_t len = datagram.size();
+  const std::uint8_t* d = datagram.data();
+  const auto truncated = [&](std::size_t need, std::size_t at) {
+    out.error = "read past end: need " + std::to_string(need) + " at " +
+                std::to_string(at) + " of " + std::to_string(len);
+    return out;
+  };
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i >= len) return truncated(1, i);
+    if (d[i] != kMagic[i]) {
+      out.error = "bad FTMP magic";
+      return out;
+    }
+  }
+  Header& h = out.header;
+  if (kVersionOffset + 2 > len) return truncated(1, len);
+  h.version.major = d[kVersionOffset];
+  h.version.minor = d[kVersionOffset + 1];
+  if (h.version.major != 1) {
+    out.error = "unsupported FTMP version " + std::to_string(h.version.major);
+    return out;
+  }
+  if (kByteOrderFlagOffset >= len) return truncated(1, kByteOrderFlagOffset);
+  const std::uint8_t order_flag = d[kByteOrderFlagOffset];
+  if (order_flag > 1) {
+    out.error = "bad byte-order flag";
+    return out;
+  }
+  h.byte_order = order_flag == 1 ? ByteOrder::kLittle : ByteOrder::kBig;
+  if (kRetransFlagOffset >= len) return truncated(1, kRetransFlagOffset);
+  const std::uint8_t retrans = d[kRetransFlagOffset];
+  if (retrans > 1) {
+    out.error = "bad retransmission flag";
+    return out;
+  }
+  h.retransmission = retrans == 1;
+  if (kSizeFieldOffset + 4 > len) return truncated(4, kSizeFieldOffset);
+  h.message_size =
+      static_cast<std::uint32_t>(load_int(d + kSizeFieldOffset, 4, h.byte_order));
+  if (kTypeFieldOffset >= len) return truncated(1, kTypeFieldOffset);
+  const std::uint8_t type = d[kTypeFieldOffset];
+  if (type < 1 || type > 9) {
+    out.error = "bad message type " + std::to_string(type);
+    return out;
+  }
+  h.type = static_cast<MessageType>(type);
+  if (kHeaderSize > len) {
+    if (kSourceOffset + 4 > len) return truncated(4, kSourceOffset);
+    if (kGroupOffset + 4 > len) return truncated(4, kGroupOffset);
+    if (kSeqOffset + 8 > len) return truncated(8, kSeqOffset);
+    if (kMsgTimestampOffset + 8 > len) return truncated(8, kMsgTimestampOffset);
+    return truncated(8, kAckTimestampOffset);
+  }
+  h.source = ProcessorId{
+      static_cast<std::uint32_t>(load_int(d + kSourceOffset, 4, h.byte_order))};
+  h.destination_group = ProcessorGroupId{
+      static_cast<std::uint32_t>(load_int(d + kGroupOffset, 4, h.byte_order))};
+  h.sequence_number = load_int(d + kSeqOffset, 8, h.byte_order);
+  h.message_timestamp =
+      static_cast<Timestamp>(load_int(d + kMsgTimestampOffset, 8, h.byte_order));
+  h.ack_timestamp =
+      static_cast<Timestamp>(load_int(d + kAckTimestampOffset, 8, h.byte_order));
+  out.ok = true;
+  return out;
+}
 }  // namespace
 
 const char* to_string(MessageType t) {
@@ -43,32 +127,23 @@ void patch_message_size(Writer& w, std::uint32_t total_size) {
 }
 
 Header decode_header(Reader& r) {
-  for (std::uint8_t expected : kMagic) {
-    if (r.u8() != expected) throw CodecError("bad FTMP magic");
+  HeaderView hv = decode_prefix(r.rest());
+  if (!hv.ok) throw CodecError(hv.error);
+  r.skip(kHeaderSize);
+  r.set_order(hv.header.byte_order);
+  return hv.header;
+}
+
+HeaderView try_decode_header(BytesView datagram) {
+  HeaderView hv = decode_prefix(datagram);
+  if (!hv.ok) return hv;
+  if (hv.header.message_size != datagram.size()) {
+    hv.ok = false;
+    hv.error = "message size mismatch: header says " +
+               std::to_string(hv.header.message_size) + ", datagram is " +
+               std::to_string(datagram.size());
   }
-  Header h;
-  h.version.major = r.u8();
-  h.version.minor = r.u8();
-  if (h.version.major != 1) {
-    throw CodecError("unsupported FTMP version " + std::to_string(h.version.major));
-  }
-  const std::uint8_t order_flag = r.u8();
-  if (order_flag > 1) throw CodecError("bad byte-order flag");
-  h.byte_order = order_flag == 1 ? ByteOrder::kLittle : ByteOrder::kBig;
-  r.set_order(h.byte_order);
-  const std::uint8_t retrans = r.u8();
-  if (retrans > 1) throw CodecError("bad retransmission flag");
-  h.retransmission = retrans == 1;
-  h.message_size = r.u32();
-  const std::uint8_t type = r.u8();
-  if (type < 1 || type > 9) throw CodecError("bad message type " + std::to_string(type));
-  h.type = static_cast<MessageType>(type);
-  h.source = ProcessorId{r.u32()};
-  h.destination_group = ProcessorGroupId{r.u32()};
-  h.sequence_number = r.u64();
-  h.message_timestamp = r.u64();
-  h.ack_timestamp = r.u64();
-  return h;
+  return hv;
 }
 
 bool looks_like_ftmp(BytesView datagram) {
@@ -77,6 +152,22 @@ bool looks_like_ftmp(BytesView datagram) {
     if (datagram[i] != kMagic[i]) return false;
   }
   return true;
+}
+
+void patch_header_u64(std::uint8_t* datagram, std::size_t offset,
+                      std::uint64_t value, ByteOrder order) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t shift = order == ByteOrder::kBig ? (7 - i) * 8 : i * 8;
+    datagram[offset + i] = static_cast<std::uint8_t>((value >> shift) & 0xFF);
+  }
+}
+
+SharedBytes with_retransmission_flag(BytesView encoded) {
+  Bytes buf = pool_acquire(encoded.size());
+  if (!encoded.empty()) std::memcpy(buf.data(), encoded.data(), encoded.size());
+  detail::note_copied_bytes(encoded.size());
+  if (buf.size() > kRetransFlagOffset) buf[kRetransFlagOffset] = 1;
+  return SharedBytes::share_pooled(std::move(buf));
 }
 
 }  // namespace ftcorba::ftmp

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "common/bytes.hpp"
 #include "common/codec.hpp"
@@ -66,12 +67,41 @@ struct Header {
   friend constexpr auto operator<=>(const Header&, const Header&) = default;
 };
 
+// --- Byte-level header layout ------------------------------------------------
+// Named offsets (from the start of the datagram) for every fixed-header
+// field, in encoding order. Anything that patches an already-encoded header
+// in place — the RMP retransmission-flag patch, the heartbeat template
+// cache — derives its offsets from these constants; the static_asserts
+// below chain each offset from the previous field's width so the layout
+// cannot silently drift from the encoder (a golden-bytes test pins the
+// actual wire bytes too).
+
+inline constexpr std::size_t kMagicOffset = 0;          // 4 bytes "FTMP"
+inline constexpr std::size_t kVersionOffset = 4;        // u8 major, u8 minor
+inline constexpr std::size_t kByteOrderFlagOffset = 6;  // u8: 0 big, 1 little
+inline constexpr std::size_t kRetransFlagOffset = 7;    // u8: 0 first tx, 1 retransmit
+inline constexpr std::size_t kSizeFieldOffset = 8;      // u32 message_size
+inline constexpr std::size_t kTypeFieldOffset = 12;     // u8 MessageType
+inline constexpr std::size_t kSourceOffset = 13;        // u32 source processor
+inline constexpr std::size_t kGroupOffset = 17;         // u32 destination group
+inline constexpr std::size_t kSeqOffset = 21;           // u64 sequence number
+inline constexpr std::size_t kMsgTimestampOffset = 29;  // u64 message timestamp
+inline constexpr std::size_t kAckTimestampOffset = 37;  // u64 ack timestamp
+
 /// Encoded size of the fixed header in bytes.
-inline constexpr std::size_t kHeaderSize = 4 /*magic*/ + 2 /*version*/ +
-                                           1 /*byte order*/ + 1 /*retrans*/ +
-                                           4 /*size*/ + 1 /*type*/ +
-                                           4 /*source*/ + 4 /*group*/ +
-                                           8 /*seq*/ + 8 /*msg ts*/ + 8 /*ack ts*/;
+inline constexpr std::size_t kHeaderSize = kAckTimestampOffset + 8;
+
+static_assert(kVersionOffset == kMagicOffset + 4, "magic is 4 bytes");
+static_assert(kByteOrderFlagOffset == kVersionOffset + 2, "version is u8+u8");
+static_assert(kRetransFlagOffset == kByteOrderFlagOffset + 1, "order flag is u8");
+static_assert(kSizeFieldOffset == kRetransFlagOffset + 1, "retrans flag is u8");
+static_assert(kTypeFieldOffset == kSizeFieldOffset + 4, "message_size is u32");
+static_assert(kSourceOffset == kTypeFieldOffset + 1, "type is u8");
+static_assert(kGroupOffset == kSourceOffset + 4, "source is u32");
+static_assert(kSeqOffset == kGroupOffset + 4, "group is u32");
+static_assert(kMsgTimestampOffset == kSeqOffset + 8, "seq is u64");
+static_assert(kAckTimestampOffset == kMsgTimestampOffset + 8, "msg ts is u64");
+static_assert(kHeaderSize == 45, "fixed FTMP header is 45 bytes on the wire");
 
 /// Appends the header to `w` (which must use header.byte_order). The
 /// `message_size` field is written as given; use `patch_message_size` after
@@ -87,7 +117,40 @@ void patch_message_size(Writer& w, std::uint32_t total_size);
 /// Throws CodecError on malformed input.
 [[nodiscard]] Header decode_header(Reader& r);
 
+/// Result of the non-throwing fixed-size header decode at the datagram
+/// boundary (Stack::on_datagram). On success `ok` is true and `header` is
+/// the fully-decoded fixed header; on failure `error` carries the same
+/// wording the throwing decoder would have produced, so ingress log lines
+/// are unchanged.
+struct HeaderView {
+  bool ok = false;
+  Header header{};
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Decodes the fixed 45-byte header without throwing — the per-datagram hot
+/// path. Performs every validation the throwing path performs, plus the
+/// `message_size == datagram.size()` check that decode_message used to
+/// apply, so a datagram accepted here can be routed on header fields alone
+/// and its body decode deferred to the point of delivery.
+[[nodiscard]] HeaderView try_decode_header(BytesView datagram);
+
 /// Convenience: checks whether a datagram starts with the FTMP magic.
 [[nodiscard]] bool looks_like_ftmp(BytesView datagram);
+
+/// Overwrites the u64 header field at `offset` (one of kSeqOffset /
+/// kMsgTimestampOffset / kAckTimestampOffset) in an already-encoded
+/// datagram, honoring `order` — the in-place patch behind the heartbeat
+/// template cache.
+void patch_header_u64(std::uint8_t* datagram, std::size_t offset,
+                      std::uint64_t value, ByteOrder order);
+
+/// Pooled copy of an encoded message with the retransmission flag set — the
+/// only byte that may differ between a retransmission and the original
+/// (§5's "identical" rule). The RMP store keeps arrival slices untouched;
+/// this runs only on the cold retransmit path.
+[[nodiscard]] SharedBytes with_retransmission_flag(BytesView encoded);
 
 }  // namespace ftcorba::ftmp

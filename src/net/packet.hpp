@@ -8,10 +8,13 @@
 namespace ftcorba::net {
 
 /// One multicast datagram: destination group address + opaque payload
-/// (an encoded FTMP message).
+/// (an encoded FTMP message). The payload is an immutable shared buffer:
+/// copying a Datagram — multicast fan-out in the simulator, queueing, the
+/// RMP retransmission store — bumps a reference count instead of copying
+/// bytes (docs/BUFFERS.md).
 struct Datagram {
   McastAddress addr{};
-  Bytes payload;
+  SharedBytes payload;
 };
 
 }  // namespace ftcorba::net

@@ -147,7 +147,9 @@ std::optional<Datagram> UdpMulticastTransport::receive(Duration timeout) {
   if (ready == 0) return std::nullopt;
   for (std::size_t i = 0; i < fds.size(); ++i) {
     if (!(fds[i].revents & POLLIN)) continue;
-    Bytes buf(65536);
+    // Pooled receive buffer: the vector's 64 KiB capacity is recycled when
+    // the last SharedBytes slice referencing this datagram is released.
+    Bytes buf = pool_acquire(65536);
     const ssize_t n = ::recv(fds[i].fd, buf.data(), buf.size(), 0);
     if (n < 0) {
       if (errno == EAGAIN || errno == EINTR) continue;
@@ -156,7 +158,8 @@ std::optional<Datagram> UdpMulticastTransport::receive(Duration timeout) {
     buf.resize(static_cast<std::size_t>(n));
     metrics_.datagrams_in.add();
     metrics_.bytes_in.add(static_cast<std::uint64_t>(n));
-    return Datagram{McastAddress{addrs[i]}, std::move(buf)};
+    return Datagram{McastAddress{addrs[i]},
+                    SharedBytes::share_pooled(std::move(buf))};
   }
   return std::nullopt;
 }

@@ -140,7 +140,7 @@ TEST(PersistentLog, LargePayloads) {
   {
     PersistentLog log(tmp.path);
     LogEntry e = entry(1, "");
-    e.giop_message = big;
+    e.giop_message = Bytes(big);
     log.append(e);
   }
   const auto loaded = PersistentLog::load(tmp.path);

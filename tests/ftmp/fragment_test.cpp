@@ -31,7 +31,7 @@ TEST(Fragment, SplitAndReassemble) {
   const auto chunks = make_fragments(payload, 1024, 42);
   EXPECT_EQ(chunks.size(), 10u);
   Reassembler r;
-  std::optional<Bytes> whole;
+  std::optional<SharedBytes> whole;
   for (const Bytes& c : chunks) {
     EXPECT_TRUE(looks_like_fragment(c));
     EXPECT_LE(c.size(), 1024 + kFragHeaderSize);
@@ -71,7 +71,7 @@ TEST(Fragment, OrphanTailDropped) {
   EXPECT_EQ(r.in_flight(), 0u);
   // The next complete message from the same source still works.
   const auto next = make_fragments(payload, 1024, 10);
-  std::optional<Bytes> whole;
+  std::optional<SharedBytes> whole;
   for (const Bytes& c : next) whole = r.feed(ProcessorId{1}, c);
   ASSERT_TRUE(whole.has_value());
 }
@@ -82,7 +82,7 @@ TEST(Fragment, InterleavedSourcesReassembleIndependently) {
   const auto ca = make_fragments(a, 1000, 1);
   const auto cb = make_fragments(b, 1000, 1);
   Reassembler r;
-  std::optional<Bytes> whole_a, whole_b;
+  std::optional<SharedBytes> whole_a, whole_b;
   for (std::size_t i = 0; i < std::max(ca.size(), cb.size()); ++i) {
     if (i < ca.size()) {
       auto got = r.feed(ProcessorId{1}, ca[i]);

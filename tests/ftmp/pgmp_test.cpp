@@ -41,8 +41,8 @@ struct PgmpFixture : ::testing::Test {
   // Routes a control message through RMP first (as GroupSession does), so
   // the PGMP completeness check sees a consistent contiguous stream.
   void feed(const Message& msg) {
-    const Bytes raw = encode_message(msg);
-    for (Message& delivered : rmp.on_reliable(0, msg, raw)) {
+    for (Frame& f : rmp.on_reliable(0, Frame{msg.header, encode_message(msg)})) {
+      const Message delivered{f.header, decode_body(f.header, f.body())};
       if (delivered.header.type == MessageType::kSuspect) {
         pgmp.on_suspect(0, delivered);
       } else if (delivered.header.type == MessageType::kMembership) {
@@ -182,8 +182,8 @@ TEST_F(PgmpFixture, ExactHalfWithoutSmallestIdStalls) {
   (void)pgmp3.take_output();
 
   auto feed3 = [&](const Message& msg) {
-    const Bytes raw = encode_message(msg);
-    for (Message& delivered : rmp3.on_reliable(0, msg, raw)) {
+    for (Frame& f : rmp3.on_reliable(0, Frame{msg.header, encode_message(msg)})) {
+      const Message delivered{f.header, decode_body(f.header, f.body())};
       if (delivered.header.type == MessageType::kSuspect) {
         pgmp3.on_suspect(0, delivered);
       } else {

@@ -23,6 +23,8 @@ Message regular(ProcessorId src, SeqNum seq, Timestamp ts = 0) {
 
 Bytes raw_of(const Message& m) { return encode_message(m); }
 
+Frame frame_of(const Message& m) { return Frame{m.header, raw_of(m)}; }
+
 struct RmpFixture : ::testing::Test {
   Config config;
   Rmp rmp{kSelf, config};
@@ -32,8 +34,8 @@ struct RmpFixture : ::testing::Test {
     rmp.add_source(kPeer, 0);
   }
 
-  std::vector<Message> feed(const Message& m, TimePoint now = 0) {
-    return rmp.on_reliable(now, m, raw_of(m));
+  std::vector<Frame> feed(const Message& m, TimePoint now = 0) {
+    return rmp.on_reliable(now, frame_of(m));
   }
 };
 
@@ -129,8 +131,7 @@ TEST_F(RmpFixture, SourceOnlyPolicyRefusesOthersMessages) {
   strict.any_holder_retransmit = false;
   Rmp rmp2(kSelf, strict);
   rmp2.add_source(kPeer, 0);
-  const Message m = regular(kPeer, 1);
-  (void)rmp2.on_reliable(0, m, raw_of(m));
+  (void)rmp2.on_reliable(0, frame_of(regular(kPeer, 1)));
   rmp2.on_retransmit_request(10 * kMillisecond, RetransmitRequestBody{kPeer, 1, 1});
   EXPECT_TRUE(rmp2.take_output().empty()) << "not the source: must not retransmit";
   // But our own messages are always served.
@@ -186,8 +187,7 @@ TEST_F(RmpFixture, AssignSeqMonotone) {
 
 TEST_F(RmpFixture, JoiningSourceStartsMidStream) {
   rmp.add_source(ProcessorId{3}, 10);  // join: expect from 11
-  const Message m = regular(ProcessorId{3}, 11);
-  EXPECT_EQ(rmp.on_reliable(0, m, raw_of(m)).size(), 1u);
+  EXPECT_EQ(rmp.on_reliable(0, frame_of(regular(ProcessorId{3}, 11))).size(), 1u);
   EXPECT_EQ(rmp.contiguous(ProcessorId{3}), 11u);
 }
 
@@ -199,8 +199,7 @@ TEST(RmpOooCap, DropsAtCapWithDistinctStatus) {
   rmp.add_source(kPeer, 0);
   auto feed = [&](const Message& m) {
     RmpAccept accept{};
-    const Bytes raw = encode_message(m);
-    (void)rmp.on_reliable(0, m, raw, &accept);
+    (void)rmp.on_reliable(0, frame_of(m), &accept);
     return accept;
   };
   // Seqs 1-2 missing: 3 and 4 park in the out-of-order buffer, 5 hits the cap.

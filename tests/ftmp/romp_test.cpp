@@ -22,6 +22,8 @@ Message regular(ProcessorId src, SeqNum seq, Timestamp ts, Timestamp ack = 0) {
   return m;
 }
 
+Frame frame_of(const Message& m) { return Frame{m.header, encode_message(m)}; }
+
 Header heartbeat(ProcessorId src, SeqNum seq, Timestamp ts, Timestamp ack = 0) {
   Header h;
   h.type = MessageType::kHeartbeat;
@@ -39,7 +41,7 @@ struct RompFixture : ::testing::Test {
 };
 
 TEST_F(RompFixture, NoDeliveryUntilAllBoundsPass) {
-  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 10)));
   EXPECT_TRUE(romp.collect_deliverable().empty()) << "P1/P3 bounds still 0";
   romp.on_heartbeat(heartbeat(kP1, 0, 11), 0);
   EXPECT_TRUE(romp.collect_deliverable().empty()) << "P3 bound still 0";
@@ -50,9 +52,9 @@ TEST_F(RompFixture, NoDeliveryUntilAllBoundsPass) {
 }
 
 TEST_F(RompFixture, DeliveryInTimestampOrderWithSourceTieBreak) {
-  romp.on_source_ordered(regular(kP3, 1, 5));
-  romp.on_source_ordered(regular(kP2, 1, 5));  // same ts: source id breaks tie
-  romp.on_source_ordered(regular(kP2, 2, 7));
+  romp.on_source_ordered(frame_of(regular(kP3, 1, 5)));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 5)));  // same ts: source id breaks tie
+  romp.on_source_ordered(frame_of(regular(kP2, 2, 7)));
   romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
   romp.on_heartbeat(heartbeat(kP2, 2, 20), 2);
   romp.on_heartbeat(heartbeat(kP3, 1, 20), 1);
@@ -64,7 +66,7 @@ TEST_F(RompFixture, DeliveryInTimestampOrderWithSourceTieBreak) {
 }
 
 TEST_F(RompFixture, HeartbeatWithStaleSeqDoesNotRaiseBound) {
-  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 10)));
   romp.on_heartbeat(heartbeat(kP1, 0, 50), 0);
   // P3's heartbeat claims seq 4, but we've contiguously received only 0:
   // messages 1..4 are in flight with unknown (smaller) timestamps.
@@ -81,12 +83,12 @@ TEST_F(RompFixture, OrderedTypesEnterPending) {
   Message add = regular(kP2, 1, 10);
   add.header.type = MessageType::kAddProcessor;
   add.body = AddProcessorBody{};
-  romp.on_source_ordered(add);
+  romp.on_source_ordered(frame_of(add));
   EXPECT_EQ(romp.pending_count(), 1u);
   Message suspect = regular(kP2, 2, 11);
   suspect.header.type = MessageType::kSuspect;
   suspect.body = SuspectBody{};
-  romp.on_source_ordered(suspect);
+  romp.on_source_ordered(frame_of(suspect));
   EXPECT_EQ(romp.pending_count(), 1u) << "Suspect is not totally ordered (Fig. 3)";
   EXPECT_EQ(romp.bound(kP2), 11u) << "but it raises the bound";
 }
@@ -118,7 +120,7 @@ TEST_F(RompFixture, AckTimestampIsMinBound) {
 }
 
 TEST_F(RompFixture, StabilityFollowsMinAck) {
-  romp.on_source_ordered(regular(kP2, 1, 10, /*ack=*/0));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 10, /*ack=*/0)));
   EXPECT_EQ(romp.stable_timestamp(), 0u);
   // Everyone acks >= 10: the message is stable.
   romp.on_heartbeat(heartbeat(kP1, 0, 40, /*ack=*/15), 0);
@@ -134,12 +136,12 @@ TEST_F(RompFixture, StabilityFollowsMinAck) {
 }
 
 TEST_F(RompFixture, StampAndWitnessKeepLamportProperty) {
-  romp.on_source_ordered(regular(kP2, 1, 1000));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 1000)));
   EXPECT_GT(romp.stamp(0), 1000u);
 }
 
 TEST_F(RompFixture, RemoveMemberUnblocksDelivery) {
-  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 10)));
   romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
   // P3 silent: stalled. Removing it (as PGMP conviction would) unblocks.
   EXPECT_TRUE(romp.collect_deliverable().empty());
@@ -148,7 +150,7 @@ TEST_F(RompFixture, RemoveMemberUnblocksDelivery) {
 }
 
 TEST_F(RompFixture, RemoveMemberDropsItsPending) {
-  romp.on_source_ordered(regular(kP3, 1, 10));
+  romp.on_source_ordered(frame_of(regular(kP3, 1, 10)));
   romp.remove_member(kP3, /*drop_pending=*/true);
   romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
   romp.on_heartbeat(heartbeat(kP2, 0, 20), 0);
@@ -160,7 +162,7 @@ TEST_F(RompFixture, AddMemberStartsAtGivenBound) {
   romp.add_member(ProcessorId{4}, 100);
   EXPECT_EQ(romp.bound(ProcessorId{4}), 100u);
   // A message above everyone's bounds stalls on the new member too.
-  romp.on_source_ordered(regular(kP2, 1, 150));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 150)));
   romp.on_heartbeat(heartbeat(kP1, 0, 200), 0);
   romp.on_heartbeat(heartbeat(kP2, 1, 200), 1);
   romp.on_heartbeat(heartbeat(kP3, 0, 200), 0);
@@ -170,10 +172,10 @@ TEST_F(RompFixture, AddMemberStartsAtGivenBound) {
 }
 
 TEST_F(RompFixture, DrainUpToCutDeliversExactlyTheCut) {
-  romp.on_source_ordered(regular(kP2, 1, 10));
-  romp.on_source_ordered(regular(kP2, 2, 12));
-  romp.on_source_ordered(regular(kP3, 1, 11));
-  romp.on_source_ordered(regular(kP3, 2, 14));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 10)));
+  romp.on_source_ordered(frame_of(regular(kP2, 2, 12)));
+  romp.on_source_ordered(frame_of(regular(kP3, 1, 11)));
+  romp.on_source_ordered(frame_of(regular(kP3, 2, 14)));
   std::map<ProcessorId, SeqNum> cuts{{kP1, 0}, {kP2, 2}, {kP3, 1}};
   const std::set<ProcessorId> survivors{kP1, kP2};
   const auto out = romp.drain_up_to_cut(cuts, survivors);
@@ -187,8 +189,8 @@ TEST_F(RompFixture, DrainUpToCutDeliversExactlyTheCut) {
 }
 
 TEST_F(RompFixture, DrainKeepsSurvivorsBeyondCut) {
-  romp.on_source_ordered(regular(kP2, 1, 10));
-  romp.on_source_ordered(regular(kP2, 2, 12));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 10)));
+  romp.on_source_ordered(frame_of(regular(kP2, 2, 12)));
   std::map<ProcessorId, SeqNum> cuts{{kP1, 0}, {kP2, 1}, {kP3, 0}};
   const std::set<ProcessorId> survivors{kP1, kP2};
   const auto out = romp.drain_up_to_cut(cuts, survivors);
@@ -203,9 +205,9 @@ TEST_F(RompFixture, DeliveryBatchStopsAtMembershipChange) {
   Message add = regular(kP2, 1, 10);
   add.header.type = MessageType::kAddProcessor;
   add.body = AddProcessorBody{};
-  romp.on_source_ordered(add);
-  romp.on_source_ordered(regular(kP2, 2, 12));
-  romp.on_source_ordered(regular(kP2, 3, 14));
+  romp.on_source_ordered(frame_of(add));
+  romp.on_source_ordered(frame_of(regular(kP2, 2, 12)));
+  romp.on_source_ordered(frame_of(regular(kP2, 3, 14)));
   romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
   romp.on_heartbeat(heartbeat(kP3, 0, 20), 0);
   romp.on_heartbeat(heartbeat(kP2, 3, 20), 3);
@@ -227,15 +229,15 @@ TEST_F(RompFixture, DeliveryBatchStopsAtMembershipChange) {
 TEST_F(RompFixture, ConsumedBoundaryCoversControlMessages) {
   // Suspect/Membership consume sequence numbers without being ordered;
   // the join resume boundary must advance over them (soak regression).
-  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 10)));
   Message suspect = regular(kP2, 2, 11);
   suspect.header.type = MessageType::kSuspect;
   suspect.body = SuspectBody{};
-  romp.on_source_ordered(suspect);
+  romp.on_source_ordered(frame_of(suspect));
   Message membership = regular(kP2, 3, 12);
   membership.header.type = MessageType::kMembership;
   membership.body = MembershipBody{};
-  romp.on_source_ordered(membership);
+  romp.on_source_ordered(frame_of(membership));
 
   // The Regular at seq 1 is not delivered yet: consumed stops before it.
   EXPECT_EQ(romp.consumed_up_to(kP2), 0u);
@@ -248,7 +250,7 @@ TEST_F(RompFixture, ConsumedBoundaryCoversControlMessages) {
 }
 
 TEST_F(RompFixture, LastOrderedSeqTracksDeliveries) {
-  romp.on_source_ordered(regular(kP2, 1, 10));
+  romp.on_source_ordered(frame_of(regular(kP2, 1, 10)));
   romp.on_heartbeat(heartbeat(kP1, 0, 20), 0);
   romp.on_heartbeat(heartbeat(kP2, 1, 20), 1);
   romp.on_heartbeat(heartbeat(kP3, 0, 20), 0);

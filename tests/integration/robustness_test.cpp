@@ -26,7 +26,7 @@ TEST(Robustness, RandomGarbageDatagramsAreCounted) {
   for (int i = 0; i < 2000; ++i) {
     Bytes junk(rng.next_below(200));
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
-    stack.on_datagram(i, net::Datagram{kGroupAddr, junk});
+    stack.on_datagram(i, net::Datagram{kGroupAddr, std::move(junk)});
   }
   EXPECT_EQ(stack.stats().malformed_datagrams, 2000u);
   // The stack still works.
@@ -54,13 +54,13 @@ TEST(Robustness, MutatedRealDatagramsNeverCrash) {
     for (int k = 0; k < 4; ++k) {
       Bytes mutated = original;
       mutated[pos] = static_cast<std::uint8_t>(rng.next_below(256));
-      stack.on_datagram(TimePoint(pos), net::Datagram{kGroupAddr, mutated});
+      stack.on_datagram(TimePoint(pos), net::Datagram{kGroupAddr, std::move(mutated)});
     }
   }
   // Truncations at every length.
   for (std::size_t len = 0; len < original.size(); ++len) {
     Bytes truncated(original.begin(), original.begin() + len);
-    stack.on_datagram(0, net::Datagram{kGroupAddr, truncated});
+    stack.on_datagram(0, net::Datagram{kGroupAddr, std::move(truncated)});
   }
   SUCCEED() << "no crash across " << original.size() * 4 << " mutations";
 }

@@ -172,7 +172,7 @@ TEST_P(ChurnProperties, InvariantsUnderChurn) {
   const auto reference = h.delivered(stable[0], kGroup);
   EXPECT_LE(reference.size(), sent);
   std::set<Bytes> delivered_payloads;
-  for (const auto& m : reference) delivered_payloads.insert(m.giop_message);
+  for (const auto& m : reference) delivered_payloads.insert(Bytes(m.giop_message.begin(), m.giop_message.end()));
   const std::set<ProcessorId> final_set(final_members.begin(), final_members.end());
   for (const auto& [sender, payload] : sent_log) {
     if (final_set.contains(sender)) {
