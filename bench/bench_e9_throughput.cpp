@@ -130,6 +130,7 @@ ThroughputResult run_baseline_flood(Protocol kind, int n, std::size_t payload,
 struct JsonRow {
   int n;
   std::size_t payload;
+  std::uint64_t seed;
   ThroughputResult result;
 };
 
@@ -146,10 +147,12 @@ void write_json(const char* path, bool quick, const std::vector<JsonRow>& rows) 
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const JsonRow& row = rows[i];
     std::fprintf(f,
-                 "    {\"n\": %d, \"payload_bytes\": %zu, \"msgs_per_s\": %.1f, "
+                 "    {\"n\": %d, \"payload_bytes\": %zu, \"seed\": %llu, "
+                 "\"msgs_per_s\": %.1f, "
                  "\"packets_per_msg\": %.2f, \"allocs_per_delivered_msg\": %.3f, "
                  "\"copied_bytes_per_delivered_msg\": %.1f, \"complete\": %s}%s\n",
-                 row.n, row.payload, row.result.msgs_per_s, row.result.packets_per_msg,
+                 row.n, row.payload, (unsigned long long)row.seed,
+                 row.result.msgs_per_s, row.result.packets_per_msg,
                  row.result.allocs_per_delivered, row.result.copied_bytes_per_delivered,
                  row.result.complete ? "true" : "false", i + 1 < rows.size() ? "," : "");
   }
@@ -186,16 +189,17 @@ int main(int argc, char** argv) {
   for (int n : group_sizes) {
     for (std::size_t payload : payloads) {
       for (Protocol proto : protocols) {
+        const std::uint64_t seed = 3000 + std::uint64_t(n);
         const ThroughputResult r =
             proto == Protocol::kFtmp
-                ? run_ftmp_flood(n, payload, 3000 + n)
-                : run_baseline_flood(proto, n, payload, 3000 + n);
+                ? run_ftmp_flood(n, payload, seed)
+                : run_baseline_flood(proto, n, payload, seed);
         if (proto == Protocol::kFtmp) {
           std::printf("%4d | %6zu | %-10s | %11.0f | %9.2f | %11.1f | %10.2f | %11.1f%s\n",
                       n, payload, to_string(proto), r.msgs_per_s, r.mbits_per_s,
                       r.packets_per_msg, r.allocs_per_delivered,
                       r.copied_bytes_per_delivered, r.complete ? "" : "  [TIMEOUT]");
-          json_rows.push_back({n, payload, r});
+          json_rows.push_back({n, payload, seed, r});
         } else {
           std::printf("%4d | %6zu | %-10s | %11.0f | %9.2f | %11.1f | %10s | %11s%s\n",
                       n, payload, to_string(proto), r.msgs_per_s, r.mbits_per_s,

@@ -4,6 +4,7 @@
 // address rebind, with the safety invariants re-checked at the end and a
 // resource summary printed (buffers, dedup tables, wire totals).
 #include <cstdio>
+#include <cstring>
 #include <set>
 
 #include "support.hpp"
@@ -13,8 +14,22 @@ using namespace ftcorba::bench;
 
 namespace {
 
-/// One full soak run; returns true when every invariant held.
-bool run_soak(std::uint64_t seed) {
+/// Per-seed outcome, also emitted to the --json summary. Every field is a
+/// pure function of the seed, so a red row reproduces with
+/// `bench_soak --seed N`.
+struct SoakResult {
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t churn_events = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t rebinds = 0;
+  std::uint64_t wire_packets = 0;
+};
+
+/// One full soak run; result.ok is true when every invariant held.
+SoakResult run_soak(std::uint64_t seed) {
   std::printf("\n--- soak seed %llu ---\n", (unsigned long long)seed);
   net::LinkModel link;
   link.loss = 0.05;
@@ -206,14 +221,15 @@ bool run_soak(std::uint64_t seed) {
       const auto msgs = h.delivered(p, kBenchGroup);
       if (msgs.size() != reference.size()) {
         ok = false;
-        std::printf("  !! transcript length at %s: %zu vs %zu\n", to_string(p).c_str(),
+        std::printf("  !! seed %llu: transcript length at %s: %zu vs %zu\n",
+                    (unsigned long long)seed, to_string(p).c_str(),
                     msgs.size(), reference.size());
       }
       for (std::size_t i = 0; i < msgs.size() && i < reference.size(); ++i) {
         if (msgs[i].giop_message != reference[i].giop_message) {
           ok = false;
-          std::printf("  !! transcript divergence at %s index %zu\n",
-                      to_string(p).c_str(), i);
+          std::printf("  !! seed %llu: transcript divergence at %s index %zu\n",
+                      (unsigned long long)seed, to_string(p).c_str(), i);
           break;
         }
       }
@@ -233,7 +249,8 @@ bool run_soak(std::uint64_t seed) {
       }
       if (cursor == longer.size()) {
         ok = false;
-        std::printf("  !! transcripts are not subsequence-consistent\n");
+        std::printf("  !! seed %llu: transcripts are not subsequence-consistent\n",
+                    (unsigned long long)seed);
         break;
       }
       ++cursor;
@@ -248,8 +265,8 @@ bool run_soak(std::uint64_t seed) {
     if (!alive.contains(p)) continue;
     if (h.stack(p).group(kBenchGroup)->membership().members != final_members) {
       ok = false;
-      std::printf("  !! membership divergence at %s (%zu vs %zu members)\n",
-                  to_string(p).c_str(),
+      std::printf("  !! seed %llu: membership divergence at %s (%zu vs %zu members)\n",
+                  (unsigned long long)seed, to_string(p).c_str(),
                   h.stack(p).group(kBenchGroup)->membership().members.size(),
                   final_members.size());
     }
@@ -280,25 +297,84 @@ bool run_soak(std::uint64_t seed) {
                 (unsigned long long)flow.lag_warnings);
   }
   std::printf("invariants         : %s\n", ok ? "HOLD" : "VIOLATED");
-  return ok;
+  if (!ok) {
+    std::printf("  reproduce: bench_soak --seed %llu\n", (unsigned long long)seed);
+  }
+  SoakResult result;
+  result.seed = seed;
+  result.ok = ok;
+  result.sent = sent;
+  result.delivered = reference.size();
+  result.churn_events = churn_events;
+  result.crashes = crashes;
+  result.rebinds = rebinds;
+  result.wire_packets = wire.packets_sent;
+  return result;
+}
+
+void write_json(const char* path, const std::vector<SoakResult>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "soak: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"soak\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SoakResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"seed\": %llu, \"ok\": %s, \"sent\": %llu, "
+                 "\"delivered\": %llu, \"churn_events\": %llu, \"crashes\": %llu, "
+                 "\"rebinds\": %llu, \"wire_packets\": %llu}%s\n",
+                 (unsigned long long)r.seed, r.ok ? "true" : "false",
+                 (unsigned long long)r.sent, (unsigned long long)r.delivered,
+                 (unsigned long long)r.churn_events, (unsigned long long)r.crashes,
+                 (unsigned long long)r.rebinds, (unsigned long long)r.wire_packets,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu seeds)\n", path, results.size());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   banner("SOAK", "2 simulated minutes each of traffic + churn + loss; invariants re-checked");
-  std::vector<std::uint64_t> seeds{123457, 7777, 424242};
-  if (argc > 1) {
-    seeds.clear();
-    for (int i = 1; i < argc; ++i) seeds.push_back(std::stoull(argv[i]));
+  // Seeds come from repeatable --seed flags (bare numbers also accepted for
+  // backward compatibility); every failure line and the --json summary carry
+  // the seed so one `bench_soak --seed N` reproduces a red run exactly.
+  std::vector<std::uint64_t> seeds;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seeds.push_back(std::stoull(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (argv[i][0] != '-') {
+      seeds.push_back(std::stoull(argv[i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_soak [--seed N]... [--json FILE] [N...]\n");
+      return 2;
+    }
   }
+  if (seeds.empty()) seeds = {123457, 7777, 424242};
   bool all_ok = true;
+  std::vector<SoakResult> results;
   reset_metrics();
   for (std::uint64_t seed : seeds) {
-    all_ok = run_soak(seed) && all_ok;
+    results.push_back(run_soak(seed));
+    all_ok = results.back().ok && all_ok;
   }
   std::printf("\nsoak verdict: %s (%zu seeds)\n", all_ok ? "ALL HOLD" : "VIOLATIONS",
               seeds.size());
+  for (const SoakResult& r : results) {
+    if (!r.ok) {
+      std::printf("  red seed %llu — reproduce: bench_soak --seed %llu\n",
+                  (unsigned long long)r.seed, (unsigned long long)r.seed);
+    }
+  }
+  if (json_path != nullptr) write_json(json_path, results);
   // Aggregate observability across all seeds (empty under FTMP_METRICS=OFF).
   print_metrics("soak aggregate, all seeds");
   return all_ok ? 0 : 1;

@@ -1,0 +1,1335 @@
+#include "ftmp/chaos.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "ft/persistent_log.hpp"
+#include "ftmp/sim_harness.hpp"
+#include "ftmp/wire.hpp"
+
+namespace ftcorba::ftmp::chaos {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLossBurst: return "loss-burst";
+    case FaultKind::kOneWayPartition: return "oneway-partition";
+    case FaultKind::kSymmetricPartition: return "partition";
+    case FaultKind::kFlap: return "flap";
+    case FaultKind::kDelayStorm: return "delay-storm";
+    case FaultKind::kSlowLink: return "slow-link";
+    case FaultKind::kCrashRestart: return "crash-restart";
+  }
+  return "?";
+}
+
+const char* to_string(InvariantKind k) {
+  switch (k) {
+    case InvariantKind::kTotalOrder: return "total-order";
+    case InvariantKind::kViewAgreement: return "view-agreement";
+    case InvariantKind::kDuplicateDelivery: return "duplicate-delivery";
+    case InvariantKind::kRetransmitIdentity: return "retransmit-identity";
+    case InvariantKind::kPrimaryExclusivity: return "primary-exclusivity";
+    case InvariantKind::kFlowBalance: return "flow-balance";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string cell_to_string(const std::vector<ProcessorId>& cell) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < cell.size(); ++i) {
+    if (i) out += ",";
+    out += to_string(cell[i]);
+  }
+  return out + "}";
+}
+
+double ms(Duration d) { return double(d) / kMillisecond; }
+
+}  // namespace
+
+std::string Fault::describe() const {
+  char buf[256];
+  std::string line;
+  std::snprintf(buf, sizeof buf, "%-17s @%-8.0fms for %-6.0fms a=%s",
+                to_string(kind), ms(at), ms(duration), cell_to_string(a).c_str());
+  line = buf;
+  if (!b.empty()) line += " b=" + cell_to_string(b);
+  switch (kind) {
+    case FaultKind::kLossBurst:
+      std::snprintf(buf, sizeof buf, " burst=%.2f enter=%.2f exit=%.2f",
+                    burst_loss, burst_enter, burst_exit);
+      line += buf;
+      break;
+    case FaultKind::kDelayStorm:
+    case FaultKind::kSlowLink:
+      std::snprintf(buf, sizeof buf, " delay=%.1fms jitter=%.1fms loss=%.2f",
+                    ms(delay), ms(jitter), loss);
+      line += buf;
+      break;
+    case FaultKind::kFlap:
+      std::snprintf(buf, sizeof buf, " period=%.0fms", ms(flap_period));
+      line += buf;
+      break;
+    default:
+      break;
+  }
+  return line;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream out;
+  out << "schedule seed=" << seed << " procs=" << params.processors
+      << " duration=" << ms(params.duration) << "ms faults=" << faults.size()
+      << "\n";
+  for (const Fault& f : faults) out << "  " << f.describe() << "\n";
+  return out.str();
+}
+
+// ---- schedule generation ----------------------------------------------------
+
+namespace {
+
+/// Picks `k` distinct processors (ascending ids) from P1..Pn, excluding any
+/// in `taken`.
+std::vector<ProcessorId> pick_cell(Rng& rng, std::uint32_t procs, std::size_t k,
+                                   const std::vector<ProcessorId>& taken = {}) {
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t i = 1; i <= procs; ++i) {
+    bool is_taken = false;
+    for (ProcessorId t : taken) is_taken = is_taken || t.raw() == i;
+    if (!is_taken) candidates.push_back(i);
+  }
+  std::vector<ProcessorId> out;
+  for (std::size_t j = 0; j < k && !candidates.empty(); ++j) {
+    const std::size_t idx = rng.next_below(candidates.size());
+    out.push_back(ProcessorId{candidates[idx]});
+    candidates.erase(candidates.begin() + std::ptrdiff_t(idx));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Schedule generate_schedule(std::uint64_t seed, const ScheduleParams& params) {
+  Schedule sched;
+  sched.seed = seed;
+  sched.params = params;
+  Rng rng = Rng(seed).split(0xC4A05u);  // independent of every runtime stream
+  const std::uint32_t n = std::max<std::uint32_t>(3, params.processors);
+  // Leave a settle-in head and a healing tail free of new faults.
+  const Duration head = 1 * kSecond;
+  const Duration usable =
+      params.duration > head + 3 * kSecond ? params.duration - head - 3 * kSecond
+                                           : 1 * kSecond;
+  // At most one crash-restart per ~3 processors keeps a quorum plausible
+  // even with overlapping faults (the engine still guards at runtime).
+  const std::size_t max_crashes = std::max<std::size_t>(1, n / 3);
+  std::size_t crashes = 0;
+
+  for (std::size_t i = 0; i < params.faults; ++i) {
+    Fault f;
+    f.at = head + Duration(rng.next_below(std::uint64_t(usable)));
+    const std::uint64_t roll = rng.next_below(100);
+    if (roll < 18) {
+      f.kind = FaultKind::kLossBurst;
+      f.a = pick_cell(rng, n, 1 + rng.next_below(2));
+      f.loss = 0.02;
+      f.burst_loss = 0.60 + double(rng.next_below(30)) / 100.0;
+      f.burst_enter = 0.05 + double(rng.next_below(15)) / 100.0;
+      f.burst_exit = 0.15 + double(rng.next_below(20)) / 100.0;
+      f.duration = (500 + Duration(rng.next_below(2000))) * kMillisecond;
+    } else if (roll < 34) {
+      f.kind = FaultKind::kOneWayPartition;
+      f.a = pick_cell(rng, n, 1 + rng.next_below(2));
+      f.b = pick_cell(rng, n, 1 + rng.next_below(2), f.a);
+      f.duration = (200 + Duration(rng.next_below(1200))) * kMillisecond;
+    } else if (roll < 50) {
+      f.kind = FaultKind::kSymmetricPartition;
+      // Minority cell only: the rest cell keeps the primary partition.
+      f.a = pick_cell(rng, n, 1 + rng.next_below(std::max<std::uint64_t>(1, n / 2 - 1)));
+      f.duration = (300 + Duration(rng.next_below(1500))) * kMillisecond;
+    } else if (roll < 62) {
+      f.kind = FaultKind::kFlap;
+      f.a = pick_cell(rng, n, 1);
+      f.flap_period = (30 + Duration(rng.next_below(50))) * kMillisecond;
+      f.duration = (300 + Duration(rng.next_below(1000))) * kMillisecond;
+    } else if (roll < 74) {
+      f.kind = FaultKind::kDelayStorm;
+      f.a = pick_cell(rng, n, 1 + rng.next_below(2));
+      f.delay = (2 + Duration(rng.next_below(10))) * kMillisecond;
+      f.jitter = (5 + Duration(rng.next_below(20))) * kMillisecond;
+      f.duration = (500 + Duration(rng.next_below(2000))) * kMillisecond;
+    } else if (roll < 86 || crashes >= max_crashes) {
+      f.kind = FaultKind::kSlowLink;
+      f.a = pick_cell(rng, n, 1);
+      f.b = pick_cell(rng, n, 1, f.a);
+      f.delay = (1 + Duration(rng.next_below(8))) * kMillisecond;
+      f.jitter = (2 + Duration(rng.next_below(10))) * kMillisecond;
+      f.loss = 0.05 + double(rng.next_below(10)) / 100.0;
+      f.duration = (1000 + Duration(rng.next_below(3000))) * kMillisecond;
+    } else {
+      f.kind = FaultKind::kCrashRestart;
+      f.a = pick_cell(rng, n, 1);
+      f.duration = (600 + Duration(rng.next_below(1500))) * kMillisecond;
+      ++crashes;
+    }
+    sched.faults.push_back(std::move(f));
+  }
+  std::stable_sort(sched.faults.begin(), sched.faults.end(),
+                   [](const Fault& x, const Fault& y) { return x.at < y.at; });
+  return sched;
+}
+
+// ---- invariant checker ------------------------------------------------------
+
+namespace {
+constexpr std::size_t kMaxViolations = 200;  // stop accumulating past this
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  std::uint8_t bytes[8];
+  std::memcpy(bytes, &v, 8);
+  return fnv1a64(bytes, 8, h);
+}
+}  // namespace
+
+void InvariantChecker::flag(InvariantKind kind, TimePoint at, std::uint32_t proc,
+                            std::string detail) {
+  if (violations_.size() >= kMaxViolations) return;
+  violations_.push_back(
+      Violation{kind, at, ProcessorId{proc}, std::move(detail)});
+}
+
+void InvariantChecker::on_delivery(const DeliveryRecord& d) {
+  ++deliveries_;
+  // A processor on an abandoned fork (partitioned out past the primary's
+  // cut) keeps delivering its stale tail until the harness drops and
+  // rejoins it; none of that is checkable against the committed ledger.
+  if (forked_.contains({d.group, d.proc})) return;
+  const std::uint32_t epoch = epochs_[d.proc];
+
+  // No duplicate delivery within one incarnation.
+  auto& seen = delivered_[{d.group, d.proc, epoch}];
+  if (!seen.insert({d.source, d.seq, d.ts}).second) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "P%u delivered (src=P%u seq=%llu ts=%llu) twice",
+                  d.proc, d.source, (unsigned long long)d.seq,
+                  (unsigned long long)d.ts);
+    flag(InvariantKind::kDuplicateDelivery, d.at, d.proc, buf);
+    return;
+  }
+
+  // Order conflicts park until the next view record; while anything is
+  // parked, later deliveries queue behind it to preserve delivery order.
+  auto pending = pending_.find({d.group, d.proc});
+  if (pending != pending_.end() && !pending->second.empty()) {
+    pending->second.push_back(d);
+    return;
+  }
+  check_order(d, /*may_park=*/true);
+}
+
+void InvariantChecker::check_order(const DeliveryRecord& d, bool may_park) {
+  auto& ledger = ledgers_[d.group];
+  const LedgerEntry entry{d.source, d.seq, d.ts, d.hash, {}};
+  Cursor& cur = cursors_[{d.group, d.proc}];
+  auto matches = [&](const LedgerEntry& e) {
+    return e.source == entry.source && e.seq == entry.seq && e.ts == entry.ts;
+  };
+
+  if (!cur.synced) {
+    // A fresh incarnation may resume anywhere at or past its old position
+    // (virtual synchrony admits it at the join cut), then must be
+    // contiguous.
+    std::size_t j = cur.next;
+    while (j < ledger.size() && !matches(ledger[j])) ++j;
+    if (j < ledger.size()) {
+      if (ledger[j].hash != entry.hash) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "payload hash mismatch at ledger[%zu] (src=P%u seq=%llu)",
+                      j, d.source, (unsigned long long)d.seq);
+        flag(InvariantKind::kTotalOrder, d.at, d.proc, buf);
+      }
+      ledger[j].deliverers.insert(d.proc);
+      cur.next = j + 1;
+    } else {
+      ledger.push_back(entry);  // first deliverer at the frontier
+      ledger.back().deliverers.insert(d.proc);
+      cur.next = ledger.size();
+    }
+    cur.synced = true;
+    return;
+  }
+
+  if (cur.next == ledger.size()) {
+    ledger.push_back(entry);  // extends the committed order
+    ledger.back().deliverers.insert(d.proc);
+    cur.next += 1;
+    return;
+  }
+  LedgerEntry& expected = ledger[cur.next];
+  if (matches(expected)) {
+    expected.deliverers.insert(d.proc);
+    if (expected.hash != entry.hash) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "payload hash mismatch at ledger[%zu] (src=P%u seq=%llu)",
+                    cur.next, d.source, (unsigned long long)d.seq);
+      flag(InvariantKind::kTotalOrder, d.at, d.proc, buf);
+    }
+    cur.next += 1;
+    return;
+  }
+  // Mismatch. It may only look like one: an install's remainder arrives
+  // before its MembershipChanged record, so a survivor's post-cut stream
+  // legitimately conflicts with an abandoned fork the imminent view
+  // install will truncate. Park and re-check at the next view record.
+  if (may_park) {
+    pending_[{d.group, d.proc}].push_back(d);
+    return;
+  }
+  // Distinguish a skip (entry appears later) from divergence.
+  std::size_t j = cur.next + 1;
+  while (j < ledger.size() && !matches(ledger[j])) ++j;
+  char buf[256];
+  if (j < ledger.size()) {
+    std::snprintf(buf, sizeof buf,
+                  "P%u skipped %zu committed deliveries: expected "
+                  "(src=P%u seq=%llu ts=%llu) at ledger[%zu], got "
+                  "(src=P%u seq=%llu ts=%llu) from ledger[%zu]",
+                  d.proc, j - cur.next, expected.source,
+                  (unsigned long long)expected.seq,
+                  (unsigned long long)expected.ts, cur.next, d.source,
+                  (unsigned long long)d.seq, (unsigned long long)d.ts, j);
+    flag(InvariantKind::kTotalOrder, d.at, d.proc, buf);
+    ledger[j].deliverers.insert(d.proc);
+    cur.next = j + 1;
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "P%u diverged from committed order at ledger[%zu]: expected "
+                  "(src=P%u seq=%llu ts=%llu), delivered (src=P%u seq=%llu "
+                  "ts=%llu) which is in nobody's ledger",
+                  d.proc, cur.next, expected.source,
+                  (unsigned long long)expected.seq,
+                  (unsigned long long)expected.ts, d.source,
+                  (unsigned long long)d.seq, (unsigned long long)d.ts);
+    flag(InvariantKind::kTotalOrder, d.at, d.proc, buf);
+    cur.next = ledger.size();  // resync at the frontier to limit cascades
+  }
+}
+
+void InvariantChecker::drain_pending(std::uint32_t group, bool force) {
+  for (auto& [key, queue] : pending_) {
+    if (key.first != group || queue.empty()) continue;
+    if (forked_.contains(key)) {
+      queue.clear();  // abandoned fork: its conflicting tail dies with it
+      continue;
+    }
+    std::vector<DeliveryRecord> retry;
+    retry.swap(queue);
+    for (std::size_t i = 0; i < retry.size(); ++i) {
+      if (!queue.empty()) {
+        // Re-parked: keep the remainder queued behind it, in order.
+        queue.insert(queue.end(), retry.begin() + i, retry.end());
+        break;
+      }
+      check_order(retry[i], /*may_park=*/!force);
+    }
+  }
+}
+
+void InvariantChecker::finalize() {
+  for (auto& [group, ledger] : ledgers_) drain_pending(group, /*force=*/true);
+}
+
+void InvariantChecker::on_view(const ViewRecord& v) {
+  auto [it, inserted] = views_.try_emplace({v.group, v.view_ts}, v.members);
+  if (!inserted && it->second != v.members) {
+    std::ostringstream out;
+    out << "conflicting memberships installed at view ts " << v.view_ts << ": {";
+    for (std::uint32_t m : it->second) out << "P" << m << " ";
+    out << "} vs {";
+    for (std::uint32_t m : v.members) out << "P" << m << " ";
+    out << "}";
+    flag(InvariantKind::kViewAgreement, v.at, v.proc, out.str());
+  }
+  auto [lv, fresh] = last_view_.try_emplace({v.group, v.proc}, v.view_ts);
+  if (!fresh) {
+    if (v.view_ts < lv->second) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "P%u view timestamp moved backwards: %llu after %llu", v.proc,
+                    (unsigned long long)v.view_ts, (unsigned long long)lv->second);
+      flag(InvariantKind::kViewAgreement, v.at, v.proc, buf);
+    }
+    lv->second = std::max(lv->second, v.view_ts);
+  }
+
+  // Newest view per group; only an advance can abandon a fork (a stale
+  // view reported late by a partitioned member must not truncate anything).
+  auto& [newest_ts, newest_members] = newest_view_[v.group];
+  const bool advances =
+      v.view_ts > newest_ts || (v.view_ts == newest_ts && newest_members.empty());
+  if (advances) {
+    newest_ts = v.view_ts;
+    newest_members = std::set<std::uint32_t>(v.members.begin(), v.members.end());
+
+    // Every processor the new view excludes is now on an abandoned fork,
+    // whether or not it contributed to a truncated suffix below: it may
+    // still drain a stale backlog after the partition heals (it has not
+    // learned of its eviction yet), and none of those deliveries may
+    // extend or re-commit the survivors' ledger. Its deliveries are
+    // ignored until it rejoins through a reset.
+    for (const auto& [key, cur] : cursors_) {
+      if (key.first == v.group && !newest_members.contains(key.second)) {
+        forked_.insert(key);
+      }
+    }
+    for (const auto& [key, queue] : pending_) {
+      if (key.first == v.group && !newest_members.contains(key.second)) {
+        forked_.insert(key);
+      }
+    }
+
+    // Abandoned-fork truncation: the longest committed suffix delivered
+    // only by processors the new view excludes was never corroborated by
+    // any survivor — the primary's install cut dropped it (the excluded
+    // side may have fully ordered those messages before the partition, but
+    // nobody in the new view ever received them). Survivors re-commit the
+    // positions in their own order; the forked processors' tails are
+    // ignored until they rejoin through a reset, which is when the
+    // application abandons a removed replica's divergent state too.
+    auto lg = ledgers_.find(v.group);
+    if (lg != ledgers_.end()) {
+      auto& ledger = lg->second;
+      std::size_t keep = ledger.size();
+      auto survivor_saw = [&](const LedgerEntry& e) {
+        for (std::uint32_t p : e.deliverers) {
+          if (newest_members.contains(p)) return true;
+        }
+        return false;
+      };
+      while (keep > 0 && !survivor_saw(ledger[keep - 1])) --keep;
+      if (keep < ledger.size()) {
+        for (std::size_t i = keep; i < ledger.size(); ++i) {
+          for (std::uint32_t p : ledger[i].deliverers) {
+            forked_.insert({v.group, p});
+          }
+        }
+        ledger.resize(keep);
+        for (auto& [key, cur] : cursors_) {
+          if (key.first == v.group) cur.next = std::min(cur.next, keep);
+        }
+      }
+    }
+  }
+  // Parked order conflicts get their re-check at every view record: either
+  // the truncation above resolved them, or they stay parked for the next
+  // view / the finalize sweep.
+  drain_pending(v.group, /*force=*/false);
+}
+
+void InvariantChecker::on_reset(std::uint32_t proc) {
+  // Conflicts the dying incarnation never resolved are real — unless it
+  // was on an abandoned fork, which dies with it.
+  for (auto& [key, queue] : pending_) {
+    if (key.second != proc || queue.empty()) continue;
+    if (forked_.contains(key)) {
+      queue.clear();
+      continue;
+    }
+    std::vector<DeliveryRecord> retry;
+    retry.swap(queue);
+    for (const DeliveryRecord& d : retry) check_order(d, /*may_park=*/false);
+  }
+  epochs_[proc] += 1;
+  for (auto& [key, cur] : cursors_) {
+    if (key.second == proc) cur.synced = false;
+  }
+  for (auto it = last_view_.begin(); it != last_view_.end();) {
+    it = it->first.second == proc ? last_view_.erase(it) : std::next(it);
+  }
+  // A reset abandons any fork: the fresh incarnation re-enters at a join
+  // cut and is checked normally from there.
+  for (auto it = forked_.begin(); it != forked_.end();) {
+    it = it->second == proc ? forked_.erase(it) : std::next(it);
+  }
+}
+
+// ---- campaign engine --------------------------------------------------------
+
+namespace {
+
+constexpr FtDomainId kDomain{1};
+constexpr McastAddress kDomainAddr{100};
+constexpr ProcessorGroupId kGroup{1};
+constexpr McastAddress kGroupAddr{200};
+
+ConnectionId chaos_conn() {
+  return ConnectionId{FtDomainId{1}, ObjectGroupId{7}, FtDomainId{1},
+                      ObjectGroupId{8}};
+}
+
+class Engine {
+ public:
+  explicit Engine(const CampaignConfig& cfg)
+      : cfg_(cfg),
+        sched_(generate_schedule(cfg.seed, cfg.params)),
+        h_(base_link(), cfg.seed, 1 * kMillisecond),
+        rng_(Rng(cfg.seed).split(0x7AFF1Cu)) {}
+
+  CampaignResult run();
+
+ private:
+  struct Proc {
+    std::unique_ptr<ft::PersistentLog> plog;
+    std::vector<ft::LogEntry> shadow;  ///< what we appended this incarnation
+    std::uint32_t incarnation = 0;
+    bool alive = true;
+  };
+  struct CrashState {
+    bool crashed = false;
+    bool done = false;  ///< restart performed (or crash skipped)
+  };
+
+  static net::LinkModel base_link() {
+    net::LinkModel link;
+    link.loss = 0.01;
+    link.duplicate = 0.005;
+    link.jitter = 300 * kMicrosecond;
+    return link;
+  }
+  static Config stack_config() {
+    Config cfg;
+    cfg.heartbeat_interval = 5 * kMillisecond;
+    cfg.fault_timeout = 150 * kMillisecond;
+    cfg.flow_window_messages = 64;
+    cfg.flow_lag_warn = 50;
+    return cfg;
+  }
+
+  void setup();
+  void on_event(ProcessorId p, TimePoint t, const Event& ev);
+  void on_wire(TimePoint t, const net::Datagram& d);
+  void on_step(TimePoint t);
+  void apply_network_faults(TimePoint t);
+  void process_crash_restarts();
+  void heal_stranded();
+  void drive_rejoins();
+  bool quiesce_and_probe();
+
+  [[nodiscard]] std::optional<ProcessorId> sponsor();
+  [[nodiscard]] std::size_t live_count() const;
+  std::string log_path(ProcessorId p, std::uint32_t incarnation) const;
+  void open_log(ProcessorId p);
+  void trace_line(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+  void record_reset(TimePoint t, ProcessorId p);
+  void flag_online(InvariantKind kind, TimePoint at, ProcessorId p,
+                   std::string detail);
+
+  CampaignConfig cfg_;
+  Schedule sched_;
+  SimHarness h_;
+  Rng rng_;
+  InvariantChecker checker_;
+  CampaignResult result_;
+
+  std::map<ProcessorId, Proc> procs_;
+  std::set<ProcessorId> in_group_;
+  std::set<ProcessorId> pending_join_;
+  std::vector<CrashState> crash_state_;  // parallel to sched_.faults
+  std::vector<char> announced_;          // fault activation logged once
+
+  std::filesystem::path log_dir_;
+  bool own_log_dir_ = false;
+  std::FILE* trace_ = nullptr;
+
+  // §5 retransmit identity: first-transmission hash (retransmission flag
+  // masked) per (source, group, seq, msg_ts).
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t, std::uint64_t>,
+           std::uint64_t>
+      first_tx_;
+  std::set<std::string> flagged_once_;  // step-checker dedup
+  std::uint64_t fault_fingerprint_ = ~0ull;
+  std::uint64_t request_counter_ = 0;
+  std::uint64_t probe_base_ = 0;  // request numbers >= this are probes
+  std::map<ProcessorId, std::uint64_t> probe_seen_;
+  bool force_heal_ = false;
+  TimePoint next_state_dump_ = 0;
+};
+
+std::optional<ProcessorId> Engine::sponsor() {
+  for (const auto& [p, proc] : procs_) {
+    if (!proc.alive) continue;
+    if (!in_group_.contains(p)) continue;
+    const GroupSession* g = h_.stack(p).group(kGroup);
+    if (g && g->active()) return p;
+  }
+  return std::nullopt;
+}
+
+std::size_t Engine::live_count() const {
+  std::size_t n = 0;
+  for (const auto& [p, proc] : procs_) n += proc.alive ? 1 : 0;
+  return n;
+}
+
+std::string Engine::log_path(ProcessorId p, std::uint32_t incarnation) const {
+  return (log_dir_ / ("p" + std::to_string(p.raw()) + "." +
+                      std::to_string(incarnation) + ".log"))
+      .string();
+}
+
+void Engine::open_log(ProcessorId p) {
+  Proc& proc = procs_.at(p);
+  proc.plog = std::make_unique<ft::PersistentLog>(log_path(p, proc.incarnation));
+  proc.shadow.clear();
+}
+
+void Engine::trace_line(const char* fmt, ...) {
+  if (!trace_) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(trace_, fmt, args);
+  va_end(args);
+}
+
+void Engine::flag_online(InvariantKind kind, TimePoint at, ProcessorId p,
+                         std::string detail) {
+  if (result_.violations.size() >= kMaxViolations) return;
+  result_.violations.push_back(Violation{kind, at, p, std::move(detail)});
+}
+
+void Engine::setup() {
+  if (cfg_.log_dir.empty()) {
+    log_dir_ = std::filesystem::temp_directory_path() /
+               ("ftmp_chaos_" + std::to_string(cfg_.seed) + "_" +
+                std::to_string(::getpid()));
+    own_log_dir_ = true;
+  } else {
+    log_dir_ = cfg_.log_dir;
+  }
+  std::filesystem::create_directories(log_dir_);
+  if (!cfg_.trace_path.empty()) {
+    trace_ = std::fopen(cfg_.trace_path.c_str(), "w");
+    if (!trace_) throw std::runtime_error("cannot open trace file " + cfg_.trace_path);
+    std::fprintf(trace_, "# chaos-trace v1 seed=%llu\n",
+                 (unsigned long long)cfg_.seed);
+  }
+  // Gauge balance is checked against a clean slate (process-global
+  // instruments; no-ops when metrics are compiled out).
+  metrics::reset_all();
+  metrics::trace_clear();
+
+  std::vector<ProcessorId> founders;
+  for (std::uint32_t i = 1; i <= cfg_.params.processors; ++i) {
+    founders.push_back(ProcessorId{i});
+  }
+  for (ProcessorId p : founders) {
+    h_.add_processor(p, kDomain, kDomainAddr, stack_config());
+    procs_.emplace(p, Proc{});
+    open_log(p);
+    in_group_.insert(p);
+    h_.set_event_handler(
+        p, [this, p](TimePoint t, const Event& ev) { on_event(p, t, ev); });
+  }
+  h_.network().set_tap(
+      [this](TimePoint t, ProcessorId, const net::Datagram& d) { on_wire(t, d); });
+  h_.set_step_hook([this](TimePoint t) { on_step(t); });
+  for (ProcessorId p : founders) {
+    h_.stack(p).create_group(h_.now(), kGroup, kGroupAddr, founders);
+  }
+  crash_state_.assign(sched_.faults.size(), CrashState{});
+  announced_.assign(sched_.faults.size(), 0);
+}
+
+void Engine::on_event(ProcessorId p, TimePoint t, const Event& ev) {
+  if (const auto* d = std::get_if<DeliveredMessage>(&ev)) {
+    const std::uint64_t hash =
+        fnv1a64(d->giop_message.data(), d->giop_message.size());
+    DeliveryRecord rec{t,      p.raw(),  d->group.raw(), d->source.raw(),
+                       d->seq, d->timestamp, hash};
+    checker_.on_delivery(rec);
+    result_.deliveries += 1;
+    result_.digest = mix64(result_.digest, rec.proc);
+    result_.digest = mix64(result_.digest, rec.source);
+    result_.digest = mix64(result_.digest, rec.seq);
+    result_.digest = mix64(result_.digest, rec.ts);
+    result_.digest = mix64(result_.digest, rec.hash);
+    trace_line("D %lld %u %u %u %llu %llu %llx\n", (long long)t, rec.proc,
+               rec.group, rec.source, (unsigned long long)rec.seq,
+               (unsigned long long)rec.ts, (unsigned long long)rec.hash);
+    Proc& proc = procs_.at(p);
+    ft::LogEntry entry{ft::MessageKind::kRequest, d->connection, d->request_num,
+                      d->timestamp, d->giop_message};
+    proc.plog->append(entry);
+    proc.plog->flush();
+    proc.shadow.push_back(std::move(entry));
+    if (probe_base_ && d->request_num >= probe_base_) probe_seen_[p] += 1;
+  } else if (const auto* m = std::get_if<MembershipChanged>(&ev)) {
+    ViewRecord rec;
+    rec.at = t;
+    rec.proc = p.raw();
+    rec.group = m->group.raw();
+    rec.view_ts = m->membership.timestamp;
+    for (ProcessorId mem : m->membership.members) rec.members.push_back(mem.raw());
+    checker_.on_view(rec);
+    result_.digest = mix64(result_.digest, rec.proc);
+    result_.digest = mix64(result_.digest, rec.view_ts);
+    for (std::uint32_t mem : rec.members) {
+      result_.digest = mix64(result_.digest, mem);
+    }
+    if (trace_) {
+      std::string members;
+      for (std::size_t i = 0; i < rec.members.size(); ++i) {
+        if (i) members += ",";
+        members += std::to_string(rec.members[i]);
+      }
+      trace_line("V %lld %u %u %llu %s\n", (long long)t, rec.proc, rec.group,
+                 (unsigned long long)rec.view_ts, members.c_str());
+    }
+  }
+}
+
+void Engine::on_wire(TimePoint t, const net::Datagram& d) {
+  const HeaderView hv = try_decode_header(d.payload);
+  if (!hv.ok) return;
+  // Hash with the retransmission flag masked: the only byte §5 allows a
+  // retransmission to change.
+  std::uint64_t hash = fnv1a64(d.payload.data(), kRetransFlagOffset);
+  const std::uint8_t zero = 0;
+  hash = fnv1a64(&zero, 1, hash);
+  hash = fnv1a64(d.payload.data() + kRetransFlagOffset + 1,
+                 d.payload.size() - kRetransFlagOffset - 1, hash);
+  const auto key = std::make_tuple(hv.header.source.raw(),
+                                   hv.header.destination_group.raw(),
+                                   hv.header.sequence_number,
+                                   hv.header.message_timestamp);
+  if (!hv.header.retransmission) {
+    first_tx_.try_emplace(key, hash);
+    return;
+  }
+  auto it = first_tx_.find(key);
+  char buf[192];
+  if (it == first_tx_.end()) {
+    std::snprintf(buf, sizeof buf,
+                  "retransmission of (src=P%u grp=G%u seq=%llu ts=%llu) whose "
+                  "original was never transmitted",
+                  hv.header.source.raw(), hv.header.destination_group.raw(),
+                  (unsigned long long)hv.header.sequence_number,
+                  (unsigned long long)hv.header.message_timestamp);
+    flag_online(InvariantKind::kRetransmitIdentity, t, hv.header.source, buf);
+  } else if (it->second != hash) {
+    std::snprintf(buf, sizeof buf,
+                  "retransmission of (src=P%u grp=G%u seq=%llu ts=%llu) is not "
+                  "byte-identical to the original (flag byte excluded)",
+                  hv.header.source.raw(), hv.header.destination_group.raw(),
+                  (unsigned long long)hv.header.sequence_number,
+                  (unsigned long long)hv.header.message_timestamp);
+    flag_online(InvariantKind::kRetransmitIdentity, t, hv.header.source, buf);
+  }
+}
+
+void Engine::apply_network_faults(TimePoint t) {
+  // Fingerprint of the active fault set (flap phase included); the network
+  // is reconfigured only when it changes — a pure function of (schedule, t).
+  std::uint64_t fp = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < sched_.faults.size(); ++i) {
+    const Fault& f = sched_.faults[i];
+    if (f.kind == FaultKind::kCrashRestart) continue;
+    const bool active =
+        !force_heal_ && t >= f.at && t < f.at + f.duration;
+    std::uint64_t phase = 0;
+    if (active && f.kind == FaultKind::kFlap && f.flap_period > 0) {
+      phase = ((t - f.at) / f.flap_period) % 2;
+    }
+    fp = mix64(fp, (std::uint64_t(i) << 2) | (std::uint64_t(active) << 1) | phase);
+    if (active && !announced_[i]) {
+      announced_[i] = 1;
+      result_.faults_applied += 1;
+      trace_line("F %lld %s\n", (long long)t, f.describe().c_str());
+      if (cfg_.verbose) {
+        std::printf("  [%8.0fms] apply %s\n", ms(t), f.describe().c_str());
+      }
+    }
+  }
+  if (fp == fault_fingerprint_) return;
+  fault_fingerprint_ = fp;
+
+  net::SimNetwork& net = h_.network();
+  net.clear_blocked_links();
+  net.clear_link_overrides();
+  const Fault* partition = nullptr;
+  for (const Fault& f : sched_.faults) {
+    const bool active = !force_heal_ && t >= f.at && t < f.at + f.duration;
+    if (!active) continue;
+    switch (f.kind) {
+      case FaultKind::kLossBurst: {
+        net::LinkModel m = base_link();
+        m.loss = f.loss;
+        m.burst_loss = f.burst_loss;
+        m.burst_enter = f.burst_enter;
+        m.burst_exit = f.burst_exit;
+        for (ProcessorId x : f.a) {
+          for (std::uint32_t y = 1; y <= cfg_.params.processors; ++y) {
+            if (y != x.raw()) net.set_link(x, ProcessorId{y}, m);
+          }
+        }
+        break;
+      }
+      case FaultKind::kOneWayPartition:
+        net.set_oneway_partition(f.a, f.b);
+        break;
+      case FaultKind::kSymmetricPartition:
+        partition = &f;  // the most recent active one wins
+        break;
+      case FaultKind::kFlap: {
+        const bool isolated = ((t - f.at) / f.flap_period) % 2 == 0;
+        if (isolated) {
+          for (ProcessorId x : f.a) {
+            for (std::uint32_t y = 1; y <= cfg_.params.processors; ++y) {
+              if (y == x.raw()) continue;
+              net.block_link(x, ProcessorId{y});
+              net.block_link(ProcessorId{y}, x);
+            }
+          }
+        }
+        break;
+      }
+      case FaultKind::kDelayStorm: {
+        net::LinkModel m = base_link();
+        m.delay = m.delay + f.delay;
+        m.jitter = f.jitter;
+        for (ProcessorId x : f.a) {
+          for (std::uint32_t y = 1; y <= cfg_.params.processors; ++y) {
+            if (y != x.raw()) net.set_link(x, ProcessorId{y}, m);
+          }
+        }
+        break;
+      }
+      case FaultKind::kSlowLink: {
+        net::LinkModel m = base_link();
+        m.delay = m.delay + f.delay;
+        m.jitter = f.jitter;
+        m.loss = f.loss;
+        net.set_link(f.a[0], f.b[0], m);
+        break;
+      }
+      case FaultKind::kCrashRestart:
+        break;
+    }
+  }
+  if (partition) {
+    net.set_partition({partition->a});
+  } else {
+    net.heal();
+  }
+}
+
+void Engine::on_step(TimePoint t) {
+  result_.checker_steps += 1;
+  apply_network_faults(t);
+
+  if (cfg_.verbose && t >= next_state_dump_) {
+    next_state_dump_ = t + 500 * kMillisecond;
+    std::string line;
+    for (const auto& [p, proc] : procs_) {
+      const GroupSession* g = proc.alive ? h_.stack(p).group(kGroup) : nullptr;
+      char buf[96];
+      if (!proc.alive) {
+        std::snprintf(buf, sizeof buf, " %s=dead", to_string(p).c_str());
+      } else if (!g) {
+        std::snprintf(buf, sizeof buf, " %s=nosession", to_string(p).c_str());
+      } else {
+        std::snprintf(buf, sizeof buf, " %s=%s%s%s|%zu|ts%llu",
+                      to_string(p).c_str(), g->active() ? "up" : "down",
+                      g->flushing() ? ",flush" : "",
+                      g->pgmp().reconfiguring() ? ",reconf" : "",
+                      g->membership().members.size(),
+                      (unsigned long long)g->membership().timestamp);
+      }
+      line += buf;
+    }
+    std::printf("  [%8.0fms] state%s\n", ms(t), line.c_str());
+  }
+
+  // Primary-partition exclusivity: any two concurrently active memberships
+  // of the group must intersect (no split brain).
+  std::vector<std::pair<ProcessorId, std::vector<ProcessorId>>> actives;
+  for (const auto& [p, proc] : procs_) {
+    if (!proc.alive) continue;
+    const GroupSession* g = h_.stack(p).group(kGroup);
+    if (g && g->active()) actives.emplace_back(p, g->membership().members);
+  }
+  for (std::size_t i = 0; i < actives.size(); ++i) {
+    for (std::size_t j = i + 1; j < actives.size(); ++j) {
+      bool intersect = false;
+      for (ProcessorId m : actives[i].second) {
+        for (ProcessorId m2 : actives[j].second) intersect |= (m == m2);
+      }
+      if (!intersect) {
+        std::string key = "primary:" + to_string(actives[i].first) + ":" +
+                          to_string(actives[j].first);
+        if (flagged_once_.insert(key).second) {
+          flag_online(InvariantKind::kPrimaryExclusivity, t, actives[i].first,
+                      "disjoint active memberships at " +
+                          to_string(actives[i].first) + " and " +
+                          to_string(actives[j].first) + " (split brain)");
+        }
+      }
+    }
+  }
+
+  // Flow gauge balance: windows and queues respect their configured bounds.
+  const Config cfg = stack_config();
+  for (const auto& [p, proc] : procs_) {
+    if (!proc.alive) continue;
+    const GroupSession* g = h_.stack(p).group(kGroup);
+    if (!g || !g->active()) continue;
+    if (cfg.flow_window_messages > 0 &&
+        g->flow().in_flight_messages() > cfg.flow_window_messages) {
+      const std::string key = "floww:" + to_string(p);
+      if (flagged_once_.insert(key).second) {
+        flag_online(InvariantKind::kFlowBalance, t, p,
+                    to_string(p) + " in-flight " +
+                        std::to_string(g->flow().in_flight_messages()) +
+                        " exceeds flow window " +
+                        std::to_string(cfg.flow_window_messages));
+      }
+    }
+    if (cfg.flow_send_queue_limit > 0 &&
+        g->flow().queue_depth() > cfg.flow_send_queue_limit) {
+      const std::string key = "flowq:" + to_string(p);
+      if (flagged_once_.insert(key).second) {
+        flag_online(InvariantKind::kFlowBalance, t, p,
+                    to_string(p) + " parked queue " +
+                        std::to_string(g->flow().queue_depth()) +
+                        " exceeds limit " +
+                        std::to_string(cfg.flow_send_queue_limit));
+      }
+    }
+  }
+  // Process-wide gauges must never go negative (throttled: snapshot takes a
+  // lock; a no-op with metrics compiled out).
+  if (result_.checker_steps % 256 == 0) {
+    for (const metrics::Sample& s : metrics::snapshot()) {
+      if (s.type == metrics::Type::kGauge && s.gauge < 0) {
+        const std::string key = "gauge:" + s.name;
+        if (flagged_once_.insert(key).second) {
+          flag_online(InvariantKind::kFlowBalance, t, ProcessorId{0},
+                      "gauge " + s.name + " went negative (" +
+                          std::to_string(s.gauge) + ")");
+        }
+      }
+    }
+  }
+}
+
+void Engine::record_reset(TimePoint t, ProcessorId p) {
+  checker_.on_reset(p.raw());
+  trace_line("R %lld %u\n", (long long)t, p.raw());
+}
+
+void Engine::process_crash_restarts() {
+  const TimePoint now = h_.now();
+  for (std::size_t i = 0; i < sched_.faults.size(); ++i) {
+    const Fault& f = sched_.faults[i];
+    if (f.kind != FaultKind::kCrashRestart) continue;
+    CrashState& st = crash_state_[i];
+    const ProcessorId victim = f.a[0];
+    if (!st.crashed && !st.done && now >= f.at) {
+      // Runtime guards: never crash below a live majority of the fleet, and
+      // never crash a member whose loss would leave the current installed
+      // membership without the strict majority it needs to convict the
+      // crash and carry on (the membership may have shrunk under earlier
+      // faults; the schedule generator cannot know that).
+      bool safe = procs_.at(victim).alive &&
+                  live_count() > cfg_.params.processors / 2 + 1;
+      if (safe) {
+        if (const auto boss = sponsor()) {
+          const auto& members = h_.stack(*boss).group(kGroup)->membership().members;
+          std::size_t live_after = 0;
+          bool victim_member = false;
+          for (ProcessorId m : members) {
+            victim_member |= (m == victim);
+            if (m != victim && procs_.at(m).alive) ++live_after;
+          }
+          if (victim_member && live_after * 2 <= members.size()) safe = false;
+        } else {
+          safe = false;  // no active session anywhere: do not make it worse
+        }
+      }
+      if (!safe) {
+        if (now > f.at + f.duration / 2) st.done = true;  // give up on this one
+        continue;
+      }
+      h_.crash(victim);
+      procs_.at(victim).alive = false;
+      st.crashed = true;
+      result_.crashes += 1;
+      result_.faults_applied += 1;
+      trace_line("X %lld %u\n", (long long)now, victim.raw());
+      if (cfg_.verbose) {
+        std::printf("  [%8.0fms] apply %s\n", ms(now), f.describe().c_str());
+      }
+    }
+    if (st.crashed && !st.done && now >= f.at + f.duration) {
+      Proc& proc = procs_.at(victim);
+      // The durable log must replay exactly what the previous incarnation
+      // recorded before the crash.
+      proc.plog->flush();
+      const auto loaded = ft::PersistentLog::load(log_path(victim, proc.incarnation));
+      if (loaded != proc.shadow) {
+        result_.log_replay_ok = false;
+        if (cfg_.verbose) {
+          std::printf("  !! %s log replay mismatch: %zu loaded vs %zu recorded\n",
+                      to_string(victim).c_str(), loaded.size(),
+                      proc.shadow.size());
+        }
+      }
+      h_.restart(victim);
+      proc.alive = true;
+      proc.incarnation += 1;
+      open_log(victim);
+      result_.restarts += 1;
+      record_reset(now, victim);
+      in_group_.erase(victim);
+      h_.stack(victim).expect_join(kGroup, kGroupAddr);
+      pending_join_.insert(victim);
+      st.done = true;
+      if (cfg_.verbose) {
+        std::printf("  [%8.0fms] restart %s (incarnation %u, %zu log entries replayed)\n",
+                    ms(now), to_string(victim).c_str(), proc.incarnation,
+                    loaded.size());
+      }
+    }
+  }
+}
+
+void Engine::heal_stranded() {
+  // A live member whose session self-evicted (stranded in a healed minority
+  // or convicted while flapping) is dropped and re-admitted — the FT
+  // infrastructure's job, played here by the campaign driver.
+  for (ProcessorId p : std::set<ProcessorId>(in_group_)) {
+    if (!procs_.at(p).alive) continue;
+    GroupSession* g = h_.stack(p).group(kGroup);
+    if (g && !g->active() && !g->lame_duck(h_.now())) {
+      in_group_.erase(p);
+      h_.stack(p).drop_group(kGroup);
+      record_reset(h_.now(), p);
+      h_.stack(p).expect_join(kGroup, kGroupAddr);
+      pending_join_.insert(p);
+      if (cfg_.verbose) {
+        std::printf("  [%8.0fms] %s stranded (evicted session dropped; re-admitting)\n",
+                    ms(h_.now()), to_string(p).c_str());
+      }
+    }
+  }
+
+  // Silent eviction: a member cut out of the primary partition while it
+  // could not hear the recovery round keeps running in its stale view
+  // forever — after the install nobody sends control traffic it could
+  // learn its eviction from, and the survivors' stores GC past its gap.
+  // The fleet's newest installed view is authoritative (view timestamps
+  // totally order installs); a live session sitting strictly below it AND
+  // excluded from it can never rejoin by protocol means, so the driver —
+  // playing the FT infrastructure — resets and re-admits it.
+  Timestamp best_ts = 0;
+  std::vector<ProcessorId> best_members;
+  for (ProcessorId p : in_group_) {
+    if (!procs_.at(p).alive) continue;
+    GroupSession* g = h_.stack(p).group(kGroup);
+    if (!g || !g->active()) continue;
+    const auto& m = g->pgmp().membership();
+    if (m.timestamp > best_ts) {
+      best_ts = m.timestamp;
+      best_members = m.members;
+    }
+  }
+  for (ProcessorId p : std::set<ProcessorId>(in_group_)) {
+    if (!procs_.at(p).alive) continue;
+    GroupSession* g = h_.stack(p).group(kGroup);
+    if (!g || !g->active()) continue;
+    const auto& m = g->pgmp().membership();
+    const bool excluded =
+        std::find(best_members.begin(), best_members.end(), p) == best_members.end();
+    if (m.timestamp < best_ts && excluded) {
+      in_group_.erase(p);
+      h_.stack(p).drop_group(kGroup);
+      record_reset(h_.now(), p);
+      h_.stack(p).expect_join(kGroup, kGroupAddr);
+      pending_join_.insert(p);
+      if (cfg_.verbose) {
+        std::printf("  [%8.0fms] %s in stale minority view ts=%llu (newest ts=%llu "
+                    "excludes it); re-admitting\n",
+                    ms(h_.now()), to_string(p).c_str(),
+                    (unsigned long long)m.timestamp, (unsigned long long)best_ts);
+      }
+    }
+  }
+}
+
+void Engine::drive_rejoins() {
+  for (ProcessorId p : std::set<ProcessorId>(pending_join_)) {
+    if (!procs_.at(p).alive) continue;
+    const auto boss = sponsor();
+    if (!boss) return;
+    if (!h_.stack(*boss).add_processor(h_.now(), kGroup, p)) {
+      if (cfg_.verbose) {
+        const GroupSession* g = h_.stack(*boss).group(kGroup);
+        std::printf("  [%8.0fms] add_processor(%s) via %s refused "
+                    "(flushing=%d reconfiguring=%d member=%d)\n",
+                    ms(h_.now()), to_string(p).c_str(), to_string(*boss).c_str(),
+                    g && g->flushing(), g && g->pgmp().reconfiguring(),
+                    g && g->is_member(p));
+      }
+      continue;
+    }
+    const bool joined = h_.run_until_pred(
+        [&] {
+          GroupSession* g = h_.stack(p).group(kGroup);
+          return g && g->is_member(p);
+        },
+        h_.now() + 10 * kSecond);
+    if (joined) {
+      pending_join_.erase(p);
+      in_group_.insert(p);
+      result_.rejoins += 1;
+      if (cfg_.verbose) {
+        std::printf("  [%8.0fms] %s rejoined\n", ms(h_.now()), to_string(p).c_str());
+      }
+    } else if (cfg_.verbose) {
+      std::printf("  [%8.0fms] %s join did not complete in time\n", ms(h_.now()),
+                  to_string(p).c_str());
+    }
+  }
+}
+
+bool Engine::quiesce_and_probe() {
+  // Heal everything, finish outstanding restarts, then prove liveness: a
+  // round of probe messages every live member must deliver.
+  force_heal_ = true;
+  fault_fingerprint_ = ~0ull;
+  for (std::size_t i = 0; i < sched_.faults.size(); ++i) {
+    Fault& f = sched_.faults[i];
+    CrashState& st = crash_state_[i];
+    if (f.kind != FaultKind::kCrashRestart) continue;
+    if (st.crashed && !st.done) {
+      f.duration = 0;  // force the restart now regardless of schedule time
+    } else if (!st.crashed) {
+      st.done = true;  // no new crashes while quiescing
+    }
+  }
+  const TimePoint heal_deadline = h_.now() + 30 * kSecond;
+  while (h_.now() < heal_deadline) {
+    process_crash_restarts();
+    heal_stranded();
+    drive_rejoins();
+    if (pending_join_.empty() && in_group_.size() == cfg_.params.processors) break;
+    h_.run_for(200 * kMillisecond);
+  }
+  if (in_group_.size() != cfg_.params.processors) {
+    if (cfg_.verbose) {
+      std::printf("  [%8.0fms] quiesce: only %zu/%u processors back in the group "
+                  "(pending %zu, sponsor %s)\n",
+                  ms(h_.now()), in_group_.size(), cfg_.params.processors,
+                  pending_join_.size(),
+                  sponsor() ? to_string(*sponsor()).c_str() : "none");
+    }
+    return false;
+  }
+
+  probe_base_ = request_counter_ + 1;
+  const std::size_t kProbes = 5;
+  const auto boss = sponsor();
+  if (!boss) return false;
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    Bytes payload(48, std::uint8_t{0xAB});
+    const std::uint64_t req = ++request_counter_;
+    std::memcpy(payload.data(), &req, sizeof req);
+    if (!h_.stack(*boss).group(kGroup)->send_regular(h_.now(), chaos_conn(), req,
+                                                     payload)) {
+      return false;
+    }
+    h_.run_for(5 * kMillisecond);
+  }
+  const bool all_delivered = h_.run_until_pred(
+      [&] {
+        for (ProcessorId p : in_group_) {
+          if (probe_seen_[p] < kProbes) return false;
+        }
+        return true;
+      },
+      h_.now() + 15 * kSecond);
+  // Membership agreement at the end.
+  bool agree = all_delivered;
+  if (agree) {
+    const auto want = h_.stack(*boss).group(kGroup)->membership().members;
+    for (ProcessorId p : in_group_) {
+      const GroupSession* g = h_.stack(p).group(kGroup);
+      agree = agree && g && g->active() && g->membership().members == want;
+    }
+  }
+  return agree;
+}
+
+CampaignResult Engine::run() {
+  result_.seed = cfg_.seed;
+  setup();
+  const TimePoint end = h_.now() + cfg_.params.duration;
+  h_.run_for(200 * kMillisecond);  // settle the founding membership
+
+  while (h_.now() < end) {
+    // Poisson-ish traffic from random in-group live members.
+    for (int i = 0; i < 3; ++i) {
+      std::vector<ProcessorId> members(in_group_.begin(), in_group_.end());
+      if (members.empty()) break;
+      const ProcessorId sender = members[rng_.next_below(members.size())];
+      if (!procs_.at(sender).alive) continue;
+      GroupSession* g = h_.stack(sender).group(kGroup);
+      if (!g || !g->active()) continue;
+      const std::uint64_t req = ++request_counter_;
+      Bytes payload(32 + rng_.next_below(160));
+      std::memcpy(payload.data(), &req, sizeof req);
+      const std::uint32_t raw = sender.raw();
+      std::memcpy(payload.data() + 8, &raw, sizeof raw);
+      if (g->send_regular(h_.now(), chaos_conn(), req, payload)) {
+        result_.messages_sent += 1;
+      }
+    }
+    h_.run_for((1 + Duration(rng_.next_below(4))) * kMillisecond);
+    process_crash_restarts();
+    heal_stranded();
+    drive_rejoins();
+  }
+
+  result_.converged = quiesce_and_probe();
+  result_.schedule = sched_;
+  checker_.finalize();
+  for (const Violation& v : checker_.violations()) {
+    if (result_.violations.size() < kMaxViolations) result_.violations.push_back(v);
+  }
+  std::sort(result_.violations.begin(), result_.violations.end(),
+            [](const Violation& x, const Violation& y) { return x.at < y.at; });
+
+  if (trace_) {
+    std::fclose(trace_);
+    trace_ = nullptr;
+  }
+  // Release the per-proc log writers before deciding the directory's fate.
+  for (auto& [p, proc] : procs_) proc.plog.reset();
+  if (own_log_dir_ && result_.ok()) {
+    std::error_code ec;
+    std::filesystem::remove_all(log_dir_, ec);
+  }
+  return result_;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  Engine engine(cfg);
+  return engine.run();
+}
+
+// ---- trace replay -----------------------------------------------------------
+
+TraceReplay replay_trace_file(const std::string& path) {
+  TraceReplay out;
+  std::ifstream in(path);
+  if (!in) {
+    out.parse_error = "cannot open " + path;
+    return out;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.rfind("# chaos-trace v1 seed=", 0) != 0) {
+    out.parse_error = "not a chaos-trace v1 file (bad header)";
+    return out;
+  }
+  out.seed = std::strtoull(line.c_str() + std::strlen("# chaos-trace v1 seed="),
+                           nullptr, 10);
+  out.parsed = true;
+
+  InvariantChecker checker;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line.substr(1));
+    switch (line[0]) {
+      case 'D': {
+        DeliveryRecord d;
+        long long at = 0;
+        if (!(fields >> at >> d.proc >> d.group >> d.source >> d.seq >> d.ts >>
+              std::hex >> d.hash)) {
+          out.parse_error = "malformed D record at line " + std::to_string(lineno);
+          out.parsed = false;
+          return out;
+        }
+        d.at = at;
+        checker.on_delivery(d);
+        out.records += 1;
+        break;
+      }
+      case 'V': {
+        ViewRecord v;
+        long long at = 0;
+        std::string members;
+        if (!(fields >> at >> v.proc >> v.group >> v.view_ts >> members)) {
+          out.parse_error = "malformed V record at line " + std::to_string(lineno);
+          out.parsed = false;
+          return out;
+        }
+        v.at = at;
+        std::istringstream ms_stream(members);
+        std::string tok;
+        while (std::getline(ms_stream, tok, ',')) {
+          v.members.push_back(std::uint32_t(std::stoul(tok)));
+        }
+        checker.on_view(v);
+        out.records += 1;
+        break;
+      }
+      case 'R': {
+        long long at = 0;
+        std::uint32_t proc = 0;
+        if (!(fields >> at >> proc)) {
+          out.parse_error = "malformed R record at line " + std::to_string(lineno);
+          out.parsed = false;
+          return out;
+        }
+        checker.on_reset(proc);
+        out.records += 1;
+        break;
+      }
+      case 'X':  // crash markers and fault applications are informational
+      case 'F':
+        break;
+      default:
+        out.parse_error = "unknown record '" + line.substr(0, 1) + "' at line " +
+                          std::to_string(lineno);
+        out.parsed = false;
+        return out;
+    }
+  }
+  checker.finalize();
+  out.violations = checker.violations();
+  return out;
+}
+
+}  // namespace ftcorba::ftmp::chaos

@@ -478,12 +478,18 @@ void GroupSession::pump(TimePoint now) {
   bool progress = true;
   while (progress) {
     progress = false;
-    for (Frame& m : romp_.collect_deliverable(now)) {
-      deliver_ordered(now, m);
-      progress = true;
-    }
+    // PGMP output before ROMP collection: a fault-recovery install drains
+    // the old-epoch remainder synchronously (inside try_complete, during
+    // datagram routing) and queues it as an InstallOut. Removing the
+    // faulty member also unblocks ordering for messages past the cut — if
+    // those were collected first, they would be delivered AHEAD of the
+    // remainder, reordering the stream every member must share.
     for (PgmpOut& out : pgmp_.take_output()) {
       apply_pgmp_out(now, std::move(out));
+      progress = true;
+    }
+    for (Frame& m : romp_.collect_deliverable(now)) {
+      deliver_ordered(now, m);
       progress = true;
     }
     for (RmpOut& out : rmp_.take_output()) {

@@ -88,26 +88,45 @@ void Pgmp::bootstrap(TimePoint now, const std::vector<ProcessorId>& members) {
 
 void Pgmp::init_from_add(TimePoint now, const Message& add_msg) {
   const auto& body = std::get<AddProcessorBody>(add_msg.body);
-  membership_.members = sorted([&] {
-    auto ms = body.current_membership.members;
-    ms.push_back(body.new_member);
-    return ms;
-  }());
-  membership_.timestamp = add_msg.header.message_timestamp;
+  // Adopt the sponsor's membership AS OF THE SEND — without ourselves, and
+  // without a view install. Our AddProcessor flows through our own total
+  // order like everyone else's (the session feeds it back through the
+  // reliable path), and the view is installed in on_add_ordered when it
+  // reaches its ordering point. Installing here from the body would race
+  // with membership changes ordered between the sponsor's send and the
+  // Add's ordering point: we would bake a stale member list and view
+  // timestamp into our first view while the members compute fresher ones.
+  membership_.members = sorted(body.current_membership.members);
+  membership_.timestamp = body.current_membership.timestamp;
   active_ = true;
   // RMP streams resume from the sponsor's reported ordered positions; every
   // message at or below them was already delivered before we joined.
   for (ProcessorId m : body.current_membership.members) {
-    rmp_.add_source(m, seq_for(body.current_seqs, m));
+    const SeqNum resume = seq_for(body.current_seqs, m);
+    rmp_.add_source(m, resume);
+    romp_.reset_source(m, resume);
     last_heard_[m] = now;
   }
   rmp_.add_source(self_, 0);
-  romp_.set_members(membership_.members);
-  // Bounds: members' not-yet-ordered messages all carry timestamps above
-  // the membership timestamp (see romp.hpp's ordering argument), so it is a
-  // safe starting bound for everyone.
+  // ROMP needs us as a source/bound even though our membership entry is
+  // deferred to the Add's ordering point.
+  romp_.set_members(sorted([&] {
+    auto ms = membership_.members;
+    ms.push_back(self_);
+    return ms;
+  }()));
+  // Bounds start at 0 for everyone. The membership timestamp is NOT a safe
+  // starting bound: a recovery round's view timestamp exceeds the survivors'
+  // proposal timestamps, but messages above the cut — sent before the round,
+  // ordered after the install — can still carry lower timestamps. A joiner
+  // admitted in that window which seeded bounds from the view timestamp
+  // would find every catch-up retransmission deliverable on arrival and
+  // deliver them in arrival order instead of (ts, source) order. Starting at
+  // 0 costs nothing: in-order receipt raises a member's bound with its first
+  // message, and its heartbeats raise it as soon as our RMP contiguous
+  // position matches — i.e. exactly when we provably hold its whole stream.
   for (ProcessorId m : body.current_membership.members) {
-    romp_.add_member(m, body.current_membership.timestamp);
+    romp_.add_member(m, 0);
   }
   // The existing members take the AddProcessor's own timestamp as our
   // starting bound, so our clock must already exceed it.
@@ -117,18 +136,33 @@ void Pgmp::init_from_add(TimePoint now, const Message& add_msg) {
                   << " body_ts=" << body.current_membership.timestamp
                   << " seq=" << add_msg.header.sequence_number
                   << " src=" << to_string(add_msg.header.source);
-  InstallOut install;
-  install.change.reason = MembershipChanged::Reason::kInitial;
-  install.change.membership = membership_;
-  install.change.joined = {self_};
-  output_.emplace_back(std::move(install));
 }
 
 void Pgmp::note_heard(ProcessorId src, TimePoint now) {
   last_heard_[src] = now;
-  if (my_suspects_.contains(src) && !convicted_.contains(src) &&
-      !pinned_suspects_.contains(src)) {
-    // False suspicion (it spoke again before conviction): withdraw.
+  // Once we have endorsed a quorum-capable proposal convicting `src`, the
+  // round may already have installed at peers holding our matching
+  // proposal (we could merely be trailing in equalization) — withdrawing
+  // now would dissolve the round locally and resume delivering messages
+  // the installed cut discarded everywhere else. Past that point we press
+  // on; the removed member rejoins through re-admission. If peers DID
+  // withdraw, their announcements dissolve our conviction and the round
+  // abort clears the endorsement, re-enabling withdrawal here.
+  const bool past_no_return = convicted_.contains(src) &&
+                              !my_last_proposal_.empty() &&
+                              quorum(my_last_proposal_);
+  if (my_suspects_.contains(src) && !pinned_suspects_.contains(src) &&
+      !past_no_return) {
+    // False suspicion (it spoke again): withdraw. This applies even after
+    // the suspicion hardened into a conviction, as long as no installable
+    // round could have resulted — an asymmetric (one-way) partition makes
+    // a live processor look dead, and the resulting round can be
+    // permanently stalled by the primary-partition rule (e.g. the proposal
+    // is exactly half the membership without the distinguished member).
+    // Without withdrawal the group would stay wedged forever after the
+    // partition heals. Peers recompute their conviction fixpoint from the
+    // announced (smaller) suspect set, which dissolves the round
+    // everywhere.
     my_suspects_.erase(src);
     SuspectBody body;
     body.current_membership = membership_;
@@ -195,15 +229,32 @@ void Pgmp::on_add_ordered(TimePoint now, const Message& msg) {
     metrics_.add_install_ms.observe(to_ms(now - af->second));
     adds_in_flight_.erase(af);
   }
-  if (contains(membership_.members, member)) return;  // duplicate / self-join
+  if (contains(membership_.members, member)) return;  // duplicate
   membership_.members = sorted([&] {
     auto ms = membership_.members;
     ms.push_back(member);
     return ms;
   }());
-  // max(): a joiner may apply a pre-join AddProcessor after initializing
-  // from a later one; its epoch must not move backwards.
-  membership_.timestamp = std::max(membership_.timestamp, msg.header.message_timestamp);
+  // Strictly above the previous view (timestamps totally order views).
+  membership_.timestamp =
+      std::max(membership_.timestamp + 1, msg.header.message_timestamp);
+  if (member == self_) {
+    // Our own AddProcessor reached its ordering point: install the view we
+    // deferred in init_from_add. Every membership change ordered before it
+    // (e.g. a concurrent rejoin whose Add carried a smaller timestamp) was
+    // applied above through the same path the existing members took, so the
+    // member list and view timestamp agree with theirs even when the
+    // sponsor's AddProcessor body was stale by the time it was ordered.
+    stats_.adds_completed += 1;
+    metrics_.adds.add();
+    refresh_suspicions_after_change();
+    InstallOut install;
+    install.change.reason = MembershipChanged::Reason::kInitial;
+    install.change.membership = membership_;
+    install.change.joined = {self_};
+    output_.emplace_back(std::move(install));
+    return;
+  }
   // A re-adding member starts a NEW incarnation of its stream at sequence
   // 1. Any stored messages from a previous incarnation alias the same
   // (source, seq) keys and would poison retransmissions: purge them now,
@@ -219,6 +270,10 @@ void Pgmp::on_add_ordered(TimePoint now, const Message& msg) {
   }
   rmp_.add_source(member, 0, /*min_timestamp=*/msg.header.message_timestamp);
   romp_.add_member(member, msg.header.message_timestamp);
+  // A re-added member is a new incarnation starting at sequence 1; restart
+  // its consumption tracking or resume points reported for it would stick
+  // at the old incarnation's position forever.
+  romp_.reset_source(member, 0);
   last_heard_[member] = now;  // fault-timer grace while it bootstraps
   FTC_LOG(kDebug) << to_string(self_) << " add_ordered " << to_string(member)
                   << " hdr_ts=" << msg.header.message_timestamp
@@ -247,7 +302,8 @@ void Pgmp::on_remove_ordered(TimePoint now, const Message& msg) {
   membership_.members.erase(
       std::remove(membership_.members.begin(), membership_.members.end(), member),
       membership_.members.end());
-  membership_.timestamp = std::max(membership_.timestamp, msg.header.message_timestamp);
+  membership_.timestamp =
+      std::max(membership_.timestamp + 1, msg.header.message_timestamp);
   stats_.removes_completed += 1;
   metrics_.removes.add();
   InstallOut install;
@@ -315,11 +371,17 @@ void Pgmp::on_membership_msg(TimePoint now, const Message& msg) {
 
   if (excludes_self && active_) {
     // Enough distinct members excluding us means the rest of the group will
-    // proceed without us: treat as eviction.
+    // proceed without us: treat as eviction. Only proposals that could
+    // actually install count — a proposal without quorum (exactly half the
+    // membership, distinguished member on our side) is permanently stalled
+    // by the primary-partition rule, and evicting ourselves on its account
+    // would kill the only side of an asymmetric partition that still hears
+    // everyone.
     std::size_t excluders = 0;
     for (ProcessorId m : membership_.members) {
       auto it = proposals_.find(m);
-      if (it != proposals_.end() && !contains(it->second.new_membership, self_)) {
+      if (it != proposals_.end() && !contains(it->second.new_membership, self_) &&
+          quorum(it->second.new_membership)) {
         ++excluders;
       }
     }
@@ -373,7 +435,22 @@ void Pgmp::recompute_convicted(TimePoint now) {
   }
   if (c != convicted_) {
     if (convicted_.empty() && !c.empty() && !round_started_) round_started_ = now;
+    const bool aborted = !convicted_.empty() && c.empty();
     convicted_ = std::move(c);
+    if (aborted) {
+      // Every conviction was withdrawn (false suspicion under an asymmetric
+      // partition): abort the round. Drop the proposals so a later round
+      // starts from fresh cut seqs — mixing stale and fresh proposals would
+      // let different survivors compute different cuts. The suspicion
+      // matrix stays: rows are corrected by their owners' own withdrawal
+      // announcements, and clearing them here would lose live suspicions
+      // held by peers that have not re-announced.
+      proposals_.clear();
+      my_last_proposal_.clear();
+      round_started_.reset();
+      equalization_counted_ = false;
+      return;
+    }
     maybe_send_membership(now);
   }
 }
@@ -463,7 +540,11 @@ void Pgmp::try_complete(TimePoint now) {
   install.remainder = romp_.drain_up_to_cut(cuts, survivors);
 
   std::vector<ProcessorId> crashed;
-  Timestamp new_ts = membership_.timestamp;
+  // Strictly above the previous view: membership timestamps totally order
+  // the views, and proposal timestamps can trail the installed epoch (e.g.
+  // when a prior install already advanced it past them). Every survivor
+  // computes the same value from the same agreed proposals.
+  Timestamp new_ts = membership_.timestamp + 1;
   for (ProcessorId r : p) new_ts = std::max(new_ts, proposals_[r].msg_ts);
   for (ProcessorId m : membership_.members) {
     if (survivors.contains(m)) continue;
@@ -568,11 +649,20 @@ void Pgmp::tick(TimePoint now) {
     return;
   }
 
-  // Sponsor-side join retransmissions.
+  // Sponsor-side join retransmissions. A pending join also ends when the
+  // joiner stayed silent long enough to be convicted out again (e.g. it was
+  // admitted across a one-way partition), or after the same generous
+  // give-up window the in-flight adds use — otherwise the entry would block
+  // make_add for that processor forever while resending an AddProcessor
+  // whose membership timestamp the joiner's rejoin floor already rejects.
   for (auto it = pending_joins_.begin(); it != pending_joins_.end();) {
     auto heard = last_heard_.find(it->new_member);
-    if (heard != last_heard_.end() && heard->second > it->started) {
-      rmp_.unpin_store(it->new_member.raw());  // joiner is live: pin released
+    const bool joiner_live =
+        heard != last_heard_.end() && heard->second > it->started;
+    const bool joiner_gone = !contains(membership_.members, it->new_member);
+    const bool gave_up = now - it->started > 10 * config_.fault_timeout;
+    if (joiner_live || joiner_gone || gave_up) {
+      rmp_.unpin_store(it->new_member.raw());
       it = pending_joins_.erase(it);
       continue;
     }

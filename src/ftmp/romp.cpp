@@ -76,6 +76,13 @@ void Romp::add_member(ProcessorId member, Timestamp initial_bound) {
   b = std::max(b, initial_bound);
 }
 
+void Romp::reset_source(ProcessorId src, SeqNum floor) {
+  consumed_up_to_[src] = floor;
+  consumed_ahead_.erase(src);
+  last_ordered_[src] = floor;
+  unstable_.erase(src);
+}
+
 void Romp::remove_member(ProcessorId member, bool drop_pending) {
   members_.erase(member);
   bounds_.erase(member);

@@ -64,6 +64,15 @@ class Romp {
   /// when the RemoveProcessor message is ordered").
   void remove_member(ProcessorId member, bool drop_pending);
 
+  /// Restarts consumption tracking for `src` at `floor`: seqs at or below
+  /// it count as consumed, nothing above it does. Needed whenever the
+  /// source's RMP stream is (re)based — a re-added member starts a new
+  /// incarnation at sequence 1, and a joiner resumes members' streams at
+  /// the AddProcessor body's positions; stale counters from before the
+  /// rebase would otherwise never advance again and poison the resume
+  /// points this processor reports in future AddProcessor bodies.
+  void reset_source(ProcessorId src, SeqNum floor);
+
   /// Current member set (sorted).
   [[nodiscard]] std::vector<ProcessorId> members() const;
 

@@ -12,10 +12,37 @@ Stack& SimHarness::add_processor(ProcessorId id, FtDomainId domain,
   auto [it, inserted] =
       stacks_.emplace(id, std::make_unique<Stack>(id, domain, domain_addr, config));
   if (!inserted) throw std::invalid_argument("duplicate processor id");
+  proc_info_[id] = ProcInfo{domain, domain_addr, config, 0};
   net_.attach(id);
   events_.emplace(id, std::vector<Event>{});
   sync_subscriptions(id);
   return *it->second;
+}
+
+Stack& SimHarness::restart(ProcessorId id) {
+  auto info = proc_info_.find(id);
+  if (info == proc_info_.end()) throw std::out_of_range("unknown processor");
+  if (!crashed_.contains(id)) {
+    throw std::logic_error("restart of a processor that is not crashed");
+  }
+  // Durable membership metadata survives the crash (see header comment).
+  const auto floors = stacks_.at(id)->join_timestamp_floors();
+  auto fresh = std::make_unique<Stack>(id, info->second.domain,
+                                       info->second.domain_addr, info->second.config);
+  for (const auto& [group, ts] : floors) {
+    fresh->restore_join_timestamp_floor(group, ts);
+  }
+  stacks_[id] = std::move(fresh);
+  info->second.incarnation += 1;
+  events_.at(id).clear();  // a fresh process has an empty event log
+  crashed_.erase(id);
+  net_.revive(id);
+  sync_subscriptions(id);
+  return *stacks_.at(id);
+}
+
+std::uint32_t SimHarness::incarnation(ProcessorId id) const {
+  return proc_info_.at(id).incarnation;
 }
 
 Stack& SimHarness::stack(ProcessorId id) {
@@ -76,6 +103,7 @@ void SimHarness::run_until(TimePoint t) {
       }
       next_tick_ += granularity_;
     }
+    if (step_hook_) step_hook_(now_);
     if (!net_.next_delivery_time() && now_ >= t) break;
   }
   now_ = t;

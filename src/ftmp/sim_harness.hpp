@@ -56,6 +56,29 @@ class SimHarness {
   /// True if `id` has been crashed.
   [[nodiscard]] bool crashed(ProcessorId id) const { return crashed_.contains(id); }
 
+  /// Restarts a crashed processor as a fresh incarnation: a brand-new Stack
+  /// with the same identity and config, an empty event log, and the network
+  /// revived. All volatile protocol state is gone — the caller re-admits it
+  /// (expect_join + a sponsor's add_processor) and replays any durable state
+  /// (ft::PersistentLog) at the application layer. The only state carried
+  /// across the restart is the stack's join-timestamp floors, which model
+  /// durable membership metadata: without them a stale retransmitted
+  /// AddProcessor from the previous incarnation could re-initialize the
+  /// rejoiner behind the group's clock bound. Throws if `id` is unknown or
+  /// not crashed.
+  Stack& restart(ProcessorId id);
+
+  /// How many times `id` has been restarted (0 for the first incarnation).
+  [[nodiscard]] std::uint32_t incarnation(ProcessorId id) const;
+
+  /// Installs a hook invoked at the end of every event-loop step of
+  /// run_until, after packets due at the step's time were delivered and any
+  /// timer tick ran. The chaos engine applies scheduled faults and runs its
+  /// invariant checkers here. nullptr clears.
+  void set_step_hook(std::function<void(TimePoint)> hook) {
+    step_hook_ = std::move(hook);
+  }
+
   /// All events a processor's stack has emitted since the start (the
   /// harness drains stacks continuously and accumulates here).
   [[nodiscard]] const std::vector<Event>& events(ProcessorId id) const;
@@ -79,6 +102,13 @@ class SimHarness {
   [[nodiscard]] std::vector<ProcessorId> processors() const;
 
  private:
+  struct ProcInfo {
+    FtDomainId domain{};
+    McastAddress domain_addr{};
+    Config config{};
+    std::uint32_t incarnation = 0;
+  };
+
   void sync_subscriptions(ProcessorId id);
   void flush(ProcessorId id);
 
@@ -87,9 +117,11 @@ class SimHarness {
   TimePoint now_ = 0;
   TimePoint next_tick_ = 0;
   std::map<ProcessorId, std::unique_ptr<Stack>> stacks_;
+  std::map<ProcessorId, ProcInfo> proc_info_;
   std::map<ProcessorId, std::vector<Event>> events_;
   std::map<ProcessorId, std::function<void(TimePoint, const Event&)>> handlers_;
   std::set<ProcessorId> crashed_;
+  std::function<void(TimePoint)> step_hook_;
 };
 
 }  // namespace ftcorba::ftmp

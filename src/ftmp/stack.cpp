@@ -449,6 +449,22 @@ bool Stack::drop_group(ProcessorGroupId g) {
   return true;
 }
 
+std::vector<std::pair<ProcessorGroupId, Timestamp>> Stack::join_timestamp_floors()
+    const {
+  std::map<ProcessorGroupId, Timestamp> floors;
+  for (const auto& [g, ts] : join_ts_floor_) floors[g] = ts;
+  for (const auto& [g, session] : sessions_) {
+    Timestamp& f = floors[g];
+    f = std::max(f, session->membership().timestamp);
+  }
+  return {floors.begin(), floors.end()};
+}
+
+void Stack::restore_join_timestamp_floor(ProcessorGroupId g, Timestamp floor) {
+  Timestamp& f = join_ts_floor_[g];
+  f = std::max(f, floor);
+}
+
 bool Stack::rebind_group(TimePoint now, ProcessorGroupId g, McastAddress new_addr) {
   GroupSession* s = this->group(g);
   if (!s) return false;

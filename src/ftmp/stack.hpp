@@ -74,6 +74,21 @@ class Stack {
   /// (snapshot + replay). Returns false if no such session exists.
   bool drop_group(ProcessorGroupId group);
 
+  /// Durable join metadata: the high-water membership timestamp seen per
+  /// group (max of any dropped session's floor and every live session's
+  /// current membership timestamp). A restarted incarnation of this
+  /// processor must reload these via restore_join_timestamp_floor before it
+  /// rejoins, or a stale retransmitted AddProcessor from before the crash
+  /// could re-initialize it with a clock behind the group's bound. On a real
+  /// deployment this rides in the same durable store as the persistent log;
+  /// SimHarness::restart models that by transferring it across incarnations.
+  [[nodiscard]] std::vector<std::pair<ProcessorGroupId, Timestamp>>
+  join_timestamp_floors() const;
+
+  /// Restores one group's join-timestamp floor (see join_timestamp_floors).
+  /// Keeps the max of the current and supplied floor.
+  void restore_join_timestamp_floor(ProcessorGroupId group, Timestamp floor);
+
   /// Moves `group` to a new multicast address via an ordered Connect (§7's
   /// second use of Connect). Every member switches when the Connect is
   /// ordered and observes the flush rule; ordered sends issued during the

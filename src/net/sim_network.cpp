@@ -61,8 +61,41 @@ void SimNetwork::set_partition(const std::vector<std::vector<ProcessorId>>& cell
   }
 }
 
+namespace {
+constexpr std::uint64_t link_key(ProcessorId from, ProcessorId to) {
+  return (std::uint64_t(from.raw()) << 32) | to.raw();
+}
+}  // namespace
+
+void SimNetwork::block_link(ProcessorId from, ProcessorId to) {
+  blocked_links_.insert(link_key(from, to));
+}
+
+void SimNetwork::unblock_link(ProcessorId from, ProcessorId to) {
+  blocked_links_.erase(link_key(from, to));
+}
+
+void SimNetwork::clear_blocked_links() { blocked_links_.clear(); }
+
+bool SimNetwork::link_blocked(ProcessorId from, ProcessorId to) const {
+  return blocked_links_.contains(link_key(from, to));
+}
+
+void SimNetwork::set_oneway_partition(const std::vector<ProcessorId>& from_cell,
+                                      const std::vector<ProcessorId>& to_cell) {
+  for (ProcessorId f : from_cell) {
+    for (ProcessorId t : to_cell) {
+      if (f != t) block_link(f, t);
+    }
+  }
+}
+
 void SimNetwork::set_link(ProcessorId from, ProcessorId to, LinkModel model) {
   link_overrides_[{from.raw(), to.raw()}] = model;
+}
+
+void SimNetwork::clear_link(ProcessorId from, ProcessorId to) {
+  link_overrides_.erase({from.raw(), to.raw()});
 }
 
 const LinkModel& SimNetwork::link(ProcessorId from, ProcessorId to) const {
@@ -72,12 +105,16 @@ const LinkModel& SimNetwork::link(ProcessorId from, ProcessorId to) const {
 
 bool SimNetwork::reachable(ProcessorId from, ProcessorId to) const {
   if (crashed_.contains(from.raw()) || crashed_.contains(to.raw())) return false;
+  if (blocked_links_.contains(link_key(from, to))) return false;
   if (!partitioned_) return true;
+  // Nodes absent from every named cell implicitly share one extra cell, so a
+  // partial set_partition never silently black-holes unmentioned nodes.
+  constexpr std::uint32_t kRestCell = 0xFFFFFFFFu;
   auto a = partition_cell_.find(from.raw());
   auto b = partition_cell_.find(to.raw());
-  // Nodes absent from every cell are isolated.
-  if (a == partition_cell_.end() || b == partition_cell_.end()) return false;
-  return a->second == b->second;
+  const std::uint32_t cell_a = a != partition_cell_.end() ? a->second : kRestCell;
+  const std::uint32_t cell_b = b != partition_cell_.end() ? b->second : kRestCell;
+  return cell_a == cell_b;
 }
 
 Rng& SimNetwork::link_rng(ProcessorId from, ProcessorId to) {
@@ -140,7 +177,15 @@ void SimNetwork::send(TimePoint now, ProcessorId from, const Datagram& datagram)
     }
     const LinkModel& m = link(from, dest);
     Rng& rng = link_rng(from, dest);
-    if (rng.chance(m.loss)) {
+    double p_loss = m.loss;
+    if (m.burst_loss > 0) {
+      // Gilbert–Elliott: advance the two-state chain once per packet. Gated
+      // on burst_loss so default configs draw nothing extra from the RNG.
+      bool& bad = ge_bad_[{from.raw(), dest.raw()}];
+      bad = bad ? !rng.chance(m.burst_exit) : rng.chance(m.burst_enter);
+      if (bad) p_loss = m.burst_loss;
+    }
+    if (rng.chance(p_loss)) {
       stats_.receiver_drops += 1;
       metrics_.drops.add();
       continue;

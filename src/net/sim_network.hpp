@@ -48,6 +48,17 @@ struct LinkModel {
   /// on a shared medium), which is what makes asymmetric protocols — e.g. a
   /// sequencer emitting a ticket per message — saturate realistically.
   double bandwidth_bps = 0;
+  /// Gilbert–Elliott correlated-loss model. When `burst_loss` > 0 the link
+  /// is a two-state Markov chain advanced once per packet: in the good
+  /// state packets drop with probability `loss`, in the bad state with
+  /// `burst_loss`; the chain enters the bad state with `burst_enter` and
+  /// leaves it with `burst_exit` per packet. This produces the bursty,
+  /// correlated loss real LANs exhibit (and uniform `loss` does not).
+  /// burst_loss == 0 (default) disables the model and draws nothing extra
+  /// from the link RNG, so existing seeded runs are byte-identical.
+  double burst_loss = 0.0;
+  double burst_enter = 0.0;  ///< P(good -> bad) per packet.
+  double burst_exit = 0.0;   ///< P(bad -> good) per packet.
 };
 
 /// A packet due for delivery to one node.
@@ -107,15 +118,50 @@ class SimNetwork {
   void send(TimePoint now, ProcessorId from, const Datagram& datagram);
 
   /// Splits the network: nodes in different cells cannot exchange packets.
-  /// Each inner vector is one cell; nodes absent from all cells are
-  /// unreachable by everyone. Pass {} to heal.
+  /// Each inner vector is one cell; nodes absent from every cell implicitly
+  /// form one extra shared cell of their own — partitioning off a subset
+  /// never silently black-holes the nodes you did not mention (they keep
+  /// talking to each other, but to nobody inside a named cell). Pass {} to
+  /// heal.
   void set_partition(const std::vector<std::vector<ProcessorId>>& cells);
 
   /// Heals any partition.
   void heal() { set_partition({}); }
 
+  // ---- one-way (asymmetric) partitions ----
+  // A directed block drops every packet `from` sends toward `to` while the
+  // reverse direction keeps working — the asymmetric failure mode (half-dead
+  // NICs, unidirectional switch faults) symmetric set_partition cannot
+  // express. Blocks compose with set_partition: a pair is reachable only if
+  // neither mechanism severs it.
+
+  /// Blocks the directed (sender → receiver) pair. Idempotent.
+  void block_link(ProcessorId from, ProcessorId to);
+
+  /// Removes a directed block (no-op if absent).
+  void unblock_link(ProcessorId from, ProcessorId to);
+
+  /// Removes every directed block.
+  void clear_blocked_links();
+
+  /// True if the directed pair is currently blocked.
+  [[nodiscard]] bool link_blocked(ProcessorId from, ProcessorId to) const;
+
+  /// Convenience: blocks every directed pair from a member of `from_cell`
+  /// toward a member of `to_cell` (a one-way partition cell). Undo with
+  /// unblock_link / clear_blocked_links.
+  void set_oneway_partition(const std::vector<ProcessorId>& from_cell,
+                            const std::vector<ProcessorId>& to_cell);
+
   /// Overrides the link model for one directed (sender → receiver) pair.
   void set_link(ProcessorId from, ProcessorId to, LinkModel model);
+
+  /// Drops the override for one directed pair (reverts it to the default).
+  void clear_link(ProcessorId from, ProcessorId to);
+
+  /// Drops every per-link override (the chaos engine recomputes the full
+  /// override set from its active fault list after any change).
+  void clear_link_overrides() { link_overrides_.clear(); }
 
   /// Replaces the default link model for pairs without an override.
   void set_default_link(LinkModel model) { defaults_ = model; }
@@ -173,6 +219,10 @@ class SimNetwork {
   std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> subs_;  // addr -> nodes
   std::unordered_map<std::pair<std::uint32_t, std::uint32_t>, LinkModel, PairHash> link_overrides_;
   std::unordered_map<std::pair<std::uint32_t, std::uint32_t>, Rng, PairHash> link_rngs_;
+  // Gilbert–Elliott per-directed-link burst state (true = bad state).
+  std::unordered_map<std::pair<std::uint32_t, std::uint32_t>, bool, PairHash> ge_bad_;
+  // Directed (sender, receiver) pairs severed by one-way partitions.
+  std::unordered_set<std::uint64_t> blocked_links_;
   std::unordered_map<std::uint32_t, std::uint32_t> partition_cell_;  // node -> cell id
   std::unordered_map<std::uint32_t, TimePoint> uplink_free_at_;  // sender -> time
   bool partitioned_ = false;

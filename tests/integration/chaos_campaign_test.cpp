@@ -1,0 +1,78 @@
+// End-to-end chaos campaigns: a small seeded campaign survives its fault
+// schedule with all six invariants green, two runs of the same seed are
+// bit-for-bit identical (digest), and the recorded trace replays clean
+// through the offline checkers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "ftmp/chaos.hpp"
+
+namespace ftcorba::ftmp::chaos {
+namespace {
+
+CampaignConfig small_config(std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.params.processors = 4;
+  cfg.params.duration = 8 * kSecond;
+  cfg.params.faults = 4;
+  return cfg;
+}
+
+std::string violations_to_string(const CampaignResult& r) {
+  std::ostringstream out;
+  for (const Violation& v : r.violations) {
+    out << to_string(v.kind) << " at " << v.at << " " << to_string(v.processor)
+        << ": " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+TEST(ChaosCampaign, SmallSeededCampaignHoldsAllInvariants) {
+  const CampaignResult r = run_campaign(small_config(42));
+  EXPECT_TRUE(r.violations.empty()) << violations_to_string(r);
+  EXPECT_TRUE(r.converged) << "fleet reconverged after quiesce";
+  EXPECT_TRUE(r.log_replay_ok);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.seed, 42u);
+  EXPECT_EQ(r.schedule.faults.size(), 4u);
+  EXPECT_GT(r.messages_sent, 0u);
+  EXPECT_GT(r.deliveries, r.messages_sent) << "every member delivers";
+  EXPECT_GT(r.checker_steps, 1000u) << "checkers ran continuously";
+  EXPECT_GT(r.faults_applied, 0u);
+}
+
+TEST(ChaosCampaign, SameSeedYieldsIdenticalDigest) {
+  const CampaignResult a = run_campaign(small_config(7));
+  const CampaignResult b = run_campaign(small_config(7));
+  EXPECT_TRUE(a.ok()) << violations_to_string(a);
+  EXPECT_EQ(a.digest, b.digest) << "campaign is not deterministic";
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+
+  const CampaignResult c = run_campaign(small_config(8));
+  EXPECT_NE(a.digest, c.digest) << "different seeds explore different runs";
+}
+
+TEST(ChaosCampaign, TraceReplaysCleanThroughOfflineCheckers) {
+  const std::string trace = testing::TempDir() + "chaos_campaign_42.trace";
+  std::remove(trace.c_str());
+  CampaignConfig cfg = small_config(42);
+  cfg.trace_path = trace;
+  const CampaignResult r = run_campaign(cfg);
+  ASSERT_TRUE(r.ok()) << violations_to_string(r);
+
+  const TraceReplay replay = replay_trace_file(trace);
+  EXPECT_TRUE(replay.parsed) << replay.parse_error;
+  EXPECT_EQ(replay.seed, 42u);
+  EXPECT_GE(replay.records, r.deliveries) << "every delivery is in the trace";
+  EXPECT_TRUE(replay.violations.empty());
+  std::remove(trace.c_str());
+}
+
+}  // namespace
+}  // namespace ftcorba::ftmp::chaos

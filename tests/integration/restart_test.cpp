@@ -1,0 +1,173 @@
+// Crash-restart recovery: a crashed processor loses its volatile state,
+// reloads its durable message log (ft::PersistentLog), carries only the
+// durable join-timestamp floors into the fresh incarnation, and rejoins the
+// group through the normal PGMP AddProcessor flow.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ft/persistent_log.hpp"
+#include "ftmp/sim_harness.hpp"
+
+namespace ftcorba::ftmp {
+namespace {
+
+constexpr FtDomainId kDomain{1};
+constexpr McastAddress kDomainAddr{100};
+constexpr ProcessorGroupId kGroup{1};
+constexpr McastAddress kGroupAddr{200};
+
+ConnectionId test_conn() {
+  return ConnectionId{kDomain, ObjectGroupId{1}, kDomain, ObjectGroupId{2}};
+}
+
+std::vector<ProcessorId> ids(std::initializer_list<std::uint32_t> raw) {
+  std::vector<ProcessorId> out;
+  for (auto r : raw) out.push_back(ProcessorId{r});
+  return out;
+}
+
+TEST(Restart, CrashedProcessorReplaysLogAndRejoins) {
+  const std::string log_path = testing::TempDir() + "restart_p3_wal.log";
+  std::remove(log_path.c_str());
+
+  SimHarness h({}, 91);
+  const auto all = ids({1, 2, 3, 4});
+  for (ProcessorId p : all) h.add_processor(p, kDomain, kDomainAddr);
+
+  // P3 journals every delivery to a durable log, shadowed in memory so the
+  // test can check the reload byte for byte.
+  auto plog = std::make_unique<ft::PersistentLog>(log_path);
+  std::vector<ft::LogEntry> shadow;
+  h.set_event_handler(ProcessorId{3}, [&](TimePoint, const Event& ev) {
+    if (const auto* d = std::get_if<DeliveredMessage>(&ev)) {
+      ft::LogEntry entry{ft::MessageKind::kRequest, d->connection,
+                        d->request_num, d->timestamp, d->giop_message};
+      plog->append(entry);
+      shadow.push_back(std::move(entry));
+    }
+  });
+
+  for (ProcessorId p : all) h.stack(p).create_group(h.now(), kGroup, kGroupAddr, all);
+  h.run_for(50 * kMillisecond);
+
+  for (std::uint64_t req = 1; req <= 3; ++req) {
+    ASSERT_TRUE(h.stack(ProcessorId{1}).group(kGroup)->send_regular(
+        h.now(), test_conn(), req, bytes_of("pre-crash-" + std::to_string(req))));
+    h.run_for(100 * kMillisecond);
+  }
+  ASSERT_EQ(h.delivered(ProcessorId{3}, kGroup).size(), 3u);
+  ASSERT_EQ(shadow.size(), 3u);
+
+  // Fail-stop crash. The survivors convict and exclude P3.
+  const auto floors_before = h.stack(ProcessorId{3}).join_timestamp_floors();
+  h.crash(ProcessorId{3});
+  ASSERT_TRUE(h.run_until_pred(
+      [&] {
+        auto* g = h.stack(ProcessorId{1}).group(kGroup);
+        return g && g->membership().members == ids({1, 2, 4});
+      },
+      h.now() + 10 * kSecond));
+
+  // Progress while P3 is down.
+  ASSERT_TRUE(h.stack(ProcessorId{2}).group(kGroup)->send_regular(
+      h.now(), test_conn(), 10, bytes_of("during-downtime")));
+  h.run_for(200 * kMillisecond);
+
+  // The durable log survives the crash and replays exactly what the previous
+  // incarnation recorded.
+  plog->flush();
+  plog.reset();
+  const auto replayed = ft::PersistentLog::load(log_path);
+  EXPECT_EQ(replayed, shadow);
+
+  // Restart: volatile state is gone, the join-timestamp floors are not.
+  Stack& fresh = h.restart(ProcessorId{3});
+  EXPECT_EQ(h.incarnation(ProcessorId{3}), 1u);
+  EXPECT_TRUE(h.events(ProcessorId{3}).empty()) << "fresh process, empty event log";
+  EXPECT_EQ(fresh.group(kGroup), nullptr) << "no sessions survive a restart";
+  auto floors_after = fresh.join_timestamp_floors();
+  ASSERT_FALSE(floors_after.empty());
+  bool found = false;
+  for (const auto& [group, ts] : floors_after) {
+    if (group != kGroup) continue;
+    found = true;
+    for (const auto& [g0, t0] : floors_before) {
+      if (g0 == kGroup) {
+        EXPECT_GE(ts, t0);
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "join-timestamp floor for the group was carried over";
+
+  // Rejoin through the normal AddProcessor flow.
+  plog = std::make_unique<ft::PersistentLog>(log_path);  // journal resumes
+  fresh.expect_join(kGroup, kGroupAddr);
+  ASSERT_TRUE(h.stack(ProcessorId{1}).add_processor(h.now(), kGroup, ProcessorId{3}));
+  ASSERT_TRUE(h.run_until_pred(
+      [&] {
+        auto* sponsor = h.stack(ProcessorId{1}).group(kGroup);
+        auto* joiner = h.stack(ProcessorId{3}).group(kGroup);
+        return sponsor && sponsor->is_member(ProcessorId{3}) && joiner &&
+               joiner->is_member(ProcessorId{3});
+      },
+      h.now() + 10 * kSecond));
+
+  // Converged: everyone agrees on the membership and P3 orders new traffic
+  // identically to the survivors.
+  h.run_for(500 * kMillisecond);
+  for (ProcessorId p : all) {
+    ASSERT_NE(h.stack(p).group(kGroup), nullptr) << "at " << to_string(p);
+    EXPECT_EQ(h.stack(p).group(kGroup)->membership().members, all)
+        << "at " << to_string(p);
+  }
+  h.clear_events();
+  for (ProcessorId p : all) {
+    ASSERT_TRUE(h.stack(p).group(kGroup)->send_regular(
+        h.now(), test_conn(), 20 + p.raw(), bytes_of(to_string(p) + "-post-rejoin")));
+  }
+  h.run_for(500 * kMillisecond);
+  const auto reference = h.delivered(ProcessorId{1}, kGroup);
+  ASSERT_EQ(reference.size(), 4u);
+  for (ProcessorId p : all) {
+    const auto msgs = h.delivered(p, kGroup);
+    ASSERT_EQ(msgs.size(), reference.size()) << "at " << to_string(p);
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(msgs[i].giop_message, reference[i].giop_message);
+    }
+  }
+  plog.reset();
+  std::remove(log_path.c_str());
+}
+
+TEST(Restart, RestartDemandsACrashedProcessor) {
+  SimHarness h({}, 92);
+  h.add_processor(ProcessorId{1}, kDomain, kDomainAddr);
+  EXPECT_THROW(h.restart(ProcessorId{1}), std::logic_error);
+  EXPECT_THROW(h.restart(ProcessorId{9}), std::out_of_range);
+  EXPECT_EQ(h.incarnation(ProcessorId{1}), 0u);
+}
+
+TEST(Restart, StepHookObservesEverySimulationStep) {
+  SimHarness h({}, 93);
+  const auto all = ids({1, 2});
+  for (ProcessorId p : all) h.add_processor(p, kDomain, kDomainAddr);
+  for (ProcessorId p : all) h.stack(p).create_group(h.now(), kGroup, kGroupAddr, all);
+  std::size_t steps = 0;
+  TimePoint last = 0;
+  bool monotonic = true;
+  h.set_step_hook([&](TimePoint t) {
+    ++steps;
+    monotonic = monotonic && t >= last;
+    last = t;
+  });
+  h.run_for(100 * kMillisecond);
+  EXPECT_GT(steps, 10u);
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace ftcorba::ftmp

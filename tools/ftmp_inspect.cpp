@@ -5,10 +5,12 @@
 //   $ ./ftmp_inspect 46544d50...            # hex from a packet capture
 //   $ echo 46544d50... | ./ftmp_inspect     # or on stdin (one per line)
 //   $ ./ftmp_inspect --metrics=prom <hex>   # append a metrics dump
+//   $ ./ftmp_inspect --invariants t.trace   # replay a chaos campaign trace
 //
 // Exit status: 0 = everything decoded, 1 = at least one datagram failed to
 // decode (including a GIOP body nested in a Regular payload), 2 = usage /
-// non-hex input.
+// non-hex input. With --invariants: 0 = every replayable invariant held,
+// 1 = at least one violation, 2 = unreadable/malformed trace.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "ftmp/chaos.hpp"
 #include "ftmp/fragment.hpp"
 #include "ftmp/messages.hpp"
 #include "giop/messages.hpp"
@@ -187,12 +190,42 @@ int inspect(const Bytes& datagram) {
   return 0;
 }
 
+/// Offline invariant replay of a chaos campaign trace (docs/CHAOS.md):
+/// re-runs the replayable checkers — total order, view agreement, no
+/// duplicate/skipped delivery — over the recorded D/V/R records, with the
+/// same verdicts the live campaign produced.
+int replay_invariants(const std::string& path) {
+  const ftmp::chaos::TraceReplay r = ftmp::chaos::replay_trace_file(path);
+  if (!r.parsed) {
+    std::fprintf(stderr, "ftmp_inspect: %s: %s\n", path.c_str(),
+                 r.parse_error.empty() ? "unreadable trace" : r.parse_error.c_str());
+    return 2;
+  }
+  std::printf("chaos trace %s: seed %llu, %llu records replayed\n", path.c_str(),
+              static_cast<unsigned long long>(r.seed),
+              static_cast<unsigned long long>(r.records));
+  for (const ftmp::chaos::Violation& v : r.violations) {
+    std::printf("  [%8.0fms] %s at %s: %s\n", double(v.at) / kMillisecond,
+                ftmp::chaos::to_string(v.kind), to_string(v.processor).c_str(),
+                v.detail.c_str());
+  }
+  if (r.violations.empty()) {
+    std::printf("  replayable invariants HOLD (total order, view agreement, dup/skip)\n");
+    return 0;
+  }
+  std::printf("  %zu violation(s); reproduce the run live with:\n"
+              "    chaos_campaign --seed %llu --trace retrace.log -v\n",
+              r.violations.size(), static_cast<unsigned long long>(r.seed));
+  return 1;
+}
+
 }  // namespace
 
 void print_usage() {
   std::fprintf(stderr,
                "usage: ftmp_inspect [--metrics=prom|json] <hex-datagram>\n"
                "       (or hex datagrams on stdin, one per line)\n"
+               "       ftmp_inspect --invariants <trace-file>\n"
                "\n"
                "Decodes hex-encoded FTMP datagrams (and nested GIOP bodies) to a\n"
                "human-readable description. Each datagram also reports its\n"
@@ -200,6 +233,12 @@ void print_usage() {
                "flow-control send window bounds (docs/FLOW.md).\n"
                "\n"
                "options:\n"
+               "  --invariants F   instead of decoding datagrams, replay the chaos\n"
+               "                   campaign trace F (chaos_campaign --trace) through\n"
+               "                   the offline invariant checkers: total order, view\n"
+               "                   agreement, no duplicate/skipped delivery. Exit 0 =\n"
+               "                   all hold, 1 = violations, 2 = bad trace. See\n"
+               "                   docs/CHAOS.md.\n"
                "  --metrics=prom   after decoding, dump this process's metrics\n"
                "                   registry in Prometheus text format on stdout\n"
                "                   (inspect_datagrams_total / inspect_malformed_total\n"
@@ -216,6 +255,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--invariants") {
+      if (i + 1 >= argc) {
+        print_usage();
+        return 2;
+      }
+      return replay_invariants(argv[i + 1]);
+    }
     if (arg.rfind("--metrics=", 0) == 0) {
       metrics_format = arg.substr(std::strlen("--metrics="));
       if (metrics_format != "prom" && metrics_format != "json") {
