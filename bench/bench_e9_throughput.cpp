@@ -1,14 +1,16 @@
 // E9 — totally-ordered throughput: flooding runs across group sizes and
-// message sizes, FTMP vs the §8 baselines on the same simulated LAN.
-// Throughput = group-wide ordered deliveries per simulated second (each
-// message counted once, when the slowest member has delivered it is
-// approximated by run-to-completion).
+// message sizes, FTMP (with and without egress batching) vs the §8
+// baselines on the same simulated LAN. Throughput = group-wide ordered
+// deliveries per simulated second (each message counted once, when the
+// slowest member has delivered it is approximated by run-to-completion).
 //
-// Expected shape: the fixed sequencer saturates at the sequencer (its
-// ticket stream is the bottleneck as n grows); token ring sustains high
-// aggregate throughput (senders batch per token visit) at higher latency;
-// FTMP scales symmetrically with per-message overhead independent of n,
-// paying one header per message plus heartbeats.
+// The LAN charges every datagram a fixed per-packet cost on the sender's
+// uplink besides its bandwidth share — the realistic per-packet overhead
+// (syscall, driver, inter-frame gap) that batching exists to amortize
+// (docs/BATCHING.md). Expected shape: unbatched FTMP is per-packet-cost
+// bound; batching packs ~tens of messages per datagram and multiplies
+// throughput; the fixed sequencer saturates at the sequencer; token ring
+// sustains high aggregate throughput at higher latency.
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -29,34 +31,43 @@ struct ThroughputResult {
   // the zero-copy datagram path's figure of merit on the sim path.
   double allocs_per_delivered = 0;
   double copied_bytes_per_delivered = 0;
+  // Egress batching figures, summed across the fleet (0 when batching off).
+  bool batching = false;
+  double batch_fill_ratio = 0;
+  double subframes_per_datagram = 0;
   bool complete = true;
 };
 
-constexpr int kMessagesPerMember = 150;
+constexpr int kMessagesPerMember = 600;
+constexpr std::size_t kBatchBudget = 8192;
 
-// A 100 Mbit/s shared-medium LAN: each sender's transmissions serialize on
-// its uplink, so protocol overhead packets cost real capacity.
+// A 1 Gbit/s shared-medium LAN with a 50µs fixed cost per datagram on the
+// sender's uplink: protocol overhead packets cost real capacity, and many
+// small datagrams cost more than one large one.
 net::LinkModel flood_lan() {
   net::LinkModel lan;
-  lan.bandwidth_bps = 100e6;
+  lan.bandwidth_bps = 1e9;
+  lan.per_packet_cost = 50 * kMicrosecond;
   return lan;
 }
 
-ThroughputResult run_ftmp_flood(int n, std::size_t payload, std::uint64_t seed) {
+ThroughputResult run_ftmp_flood(int n, std::size_t payload, std::uint64_t seed,
+                                bool batching) {
   ftmp::Config cfg;
   cfg.heartbeat_interval = 5 * kMillisecond;
   cfg.fault_timeout = 5 * kSecond;
+  if (batching) {
+    cfg.batch_max_datagram_bytes = kBatchBudget;
+    cfg.batch_flush_us = 500;
+  }
   FtmpFleet fleet(n, cfg, flood_lan(), seed);
   alloc_stats_reset();  // measure the flood, not the connect handshake
   const TimePoint start = fleet.h.now();
   const std::uint64_t total = std::uint64_t(n) * kMessagesPerMember;
-  // Bursty flood: every member injects 10 messages per millisecond, so the
-  // drain rate of the ordering pipeline is the binding constraint.
-  for (int i = 0; i < kMessagesPerMember; i += 10) {
-    for (int k = 0; k < 10; ++k) {
-      for (ProcessorId p : fleet.members) fleet.send_from(p, payload);
-    }
-    fleet.h.run_for(1 * kMillisecond);
+  // Inject the whole flood upfront: the drain rate of the wire + ordering
+  // pipeline is the binding constraint, not the injection schedule.
+  for (int i = 0; i < kMessagesPerMember; ++i) {
+    for (ProcessorId p : fleet.members) fleet.send_from(p, payload);
   }
   // Run until every member delivered everything (or timeout).
   const bool complete = fleet.h.run_until_pred(
@@ -77,6 +88,21 @@ ThroughputResult run_ftmp_flood(int n, std::size_t payload, std::uint64_t seed) 
   const double delivered = double(total) * n;
   r.allocs_per_delivered = double(alloc.fresh_buffers + alloc.pool_hits) / delivered;
   r.copied_bytes_per_delivered = double(alloc.copied_bytes) / delivered;
+  r.batching = batching;
+  if (batching) {
+    std::uint64_t batch_dgrams = 0, subframes = 0, batch_bytes = 0;
+    for (ProcessorId p : fleet.members) {
+      const ftmp::BatchStats& bs = fleet.h.stack(p).batch_stats();
+      batch_dgrams += bs.batch_datagrams;
+      subframes += bs.subframes;
+      batch_bytes += bs.batch_bytes;
+    }
+    if (batch_dgrams > 0) {
+      r.batch_fill_ratio =
+          double(batch_bytes) / (double(batch_dgrams) * double(kBatchBudget));
+      r.subframes_per_datagram = double(subframes) / double(batch_dgrams);
+    }
+  }
   r.complete = complete;
   return r;
 }
@@ -101,11 +127,8 @@ ThroughputResult run_baseline_flood(Protocol kind, int n, std::size_t payload,
 
   const TimePoint start = h.now();
   const std::uint64_t total = std::uint64_t(n) * kMessagesPerMember;
-  for (int i = 0; i < kMessagesPerMember; i += 10) {
-    for (int k = 0; k < 10; ++k) {
-      for (ProcessorId p : members) h.broadcast(p, stamp_payload(h.now(), payload));
-    }
-    h.run_for(1 * kMillisecond);
+  for (int i = 0; i < kMessagesPerMember; ++i) {
+    for (ProcessorId p : members) h.broadcast(p, stamp_payload(h.now(), payload));
   }
   bool complete = false;
   while (h.now() < start + 120 * kSecond) {
@@ -134,8 +157,9 @@ struct JsonRow {
   ThroughputResult result;
 };
 
-// Machine-readable summary for the CI perf-smoke job: FTMP msgs/s plus the
-// allocation/copy cost per delivered message on the sim path.
+// Machine-readable summary for the CI perf-smoke job: FTMP msgs/s with
+// batching off and on, plus the allocation/copy cost per delivered message
+// and the batched fill ratio on the sim path.
 void write_json(const char* path, bool quick, const std::vector<JsonRow>& rows) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -148,12 +172,16 @@ void write_json(const char* path, bool quick, const std::vector<JsonRow>& rows) 
     const JsonRow& row = rows[i];
     std::fprintf(f,
                  "    {\"n\": %d, \"payload_bytes\": %zu, \"seed\": %llu, "
-                 "\"msgs_per_s\": %.1f, "
+                 "\"batching\": %s, \"msgs_per_s\": %.1f, "
                  "\"packets_per_msg\": %.2f, \"allocs_per_delivered_msg\": %.3f, "
-                 "\"copied_bytes_per_delivered_msg\": %.1f, \"complete\": %s}%s\n",
+                 "\"copied_bytes_per_delivered_msg\": %.1f, "
+                 "\"batch_fill_ratio\": %.3f, \"subframes_per_datagram\": %.1f, "
+                 "\"complete\": %s}%s\n",
                  row.n, row.payload, (unsigned long long)row.seed,
+                 row.result.batching ? "true" : "false",
                  row.result.msgs_per_s, row.result.packets_per_msg,
                  row.result.allocs_per_delivered, row.result.copied_bytes_per_delivered,
+                 row.result.batch_fill_ratio, row.result.subframes_per_datagram,
                  row.result.complete ? "true" : "false", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -182,39 +210,48 @@ int main(int argc, char** argv) {
                                     Protocol::kTokenRing};
   std::vector<JsonRow> json_rows;
 
-  std::printf("%4s | %6s | %-10s | %11s | %9s | %11s | %10s | %11s\n", "n", "bytes",
-              "protocol", "msgs/s", "Mbit/s", "packets/msg", "allocs/dlv", "copiedB/dlv");
-  std::printf("-----+--------+------------+-------------+-----------+-------------+"
-              "------------+------------\n");
+  std::printf("%4s | %6s | %-10s | %5s | %11s | %9s | %11s | %10s | %11s | %5s\n",
+              "n", "bytes", "protocol", "batch", "msgs/s", "Mbit/s", "packets/msg",
+              "allocs/dlv", "copiedB/dlv", "fill");
+  std::printf("-----+--------+------------+-------+-------------+-----------+"
+              "-------------+------------+-------------+------\n");
   for (int n : group_sizes) {
     for (std::size_t payload : payloads) {
       for (Protocol proto : protocols) {
         const std::uint64_t seed = 3000 + std::uint64_t(n);
-        const ThroughputResult r =
-            proto == Protocol::kFtmp
-                ? run_ftmp_flood(n, payload, seed)
-                : run_baseline_flood(proto, n, payload, seed);
         if (proto == Protocol::kFtmp) {
-          std::printf("%4d | %6zu | %-10s | %11.0f | %9.2f | %11.1f | %10.2f | %11.1f%s\n",
-                      n, payload, to_string(proto), r.msgs_per_s, r.mbits_per_s,
-                      r.packets_per_msg, r.allocs_per_delivered,
-                      r.copied_bytes_per_delivered, r.complete ? "" : "  [TIMEOUT]");
-          json_rows.push_back({n, payload, seed, r});
+          // Same run twice: batching off, then on — the off row is the
+          // baseline the batched speedup in CI is measured against.
+          for (bool batching : {false, true}) {
+            const ThroughputResult r = run_ftmp_flood(n, payload, seed, batching);
+            std::printf("%4d | %6zu | %-10s | %5s | %11.0f | %9.2f | %11.1f | "
+                        "%10.2f | %11.1f | %5.2f%s\n",
+                        n, payload, to_string(proto), batching ? "on" : "off",
+                        r.msgs_per_s, r.mbits_per_s, r.packets_per_msg,
+                        r.allocs_per_delivered, r.copied_bytes_per_delivered,
+                        r.batch_fill_ratio, r.complete ? "" : "  [TIMEOUT]");
+            json_rows.push_back({n, payload, seed, r});
+          }
         } else {
-          std::printf("%4d | %6zu | %-10s | %11.0f | %9.2f | %11.1f | %10s | %11s%s\n",
-                      n, payload, to_string(proto), r.msgs_per_s, r.mbits_per_s,
-                      r.packets_per_msg, "-", "-", r.complete ? "" : "  [TIMEOUT]");
+          const ThroughputResult r = run_baseline_flood(proto, n, payload, seed);
+          std::printf("%4d | %6zu | %-10s | %5s | %11.0f | %9.2f | %11.1f | "
+                      "%10s | %11s | %5s%s\n",
+                      n, payload, to_string(proto), "-", r.msgs_per_s,
+                      r.mbits_per_s, r.packets_per_msg, "-", "-", "-",
+                      r.complete ? "" : "  [TIMEOUT]");
         }
       }
     }
-    std::printf("-----+--------+------------+-------------+-----------+-------------+"
-                "------------+------------\n");
+    std::printf("-----+--------+------------+-------+-------------+-----------+"
+                "-------------+------------+-------------+------\n");
   }
-  std::printf("%d msgs/member injected at 10 msgs/ms/member; run measured until every\n"
-              "member delivered everything (drain-rate limited). allocs/dlv and\n"
-              "copiedB/dlv: owned-buffer allocations and memcpy'd bytes per group-wide\n"
-              "ordered delivery (zero-copy path cost; excludes connect handshake).\n",
-              kMessagesPerMember);
+  std::printf("%d msgs/member injected upfront; run measured until every member\n"
+              "delivered everything (drain-rate limited on a LAN charging 50us per\n"
+              "datagram + 1 Gbit/s uplink serialization). batch rows: budget %zu B,\n"
+              "fill = mean fraction of budget used per batched datagram. allocs/dlv\n"
+              "and copiedB/dlv: owned-buffer allocations and memcpy'd bytes per\n"
+              "group-wide ordered delivery (excludes connect handshake).\n",
+              kMessagesPerMember, kBatchBudget);
   write_json(json_path, quick, json_rows);
   return 0;
 }

@@ -1,0 +1,116 @@
+// batch.hpp — egress datagram batching (docs/BATCHING.md).
+//
+// The Batcher sits between the stack's outbox and the net driver: every
+// outgoing datagram is staged per destination address, and datagrams bound
+// for the same multicast group are packed into one wire datagram
+// (wire.hpp's "FTMB" envelope + length-prefixed sub-frames) up to
+// `batch_max_datagram_bytes`. A batch closes when the next message would
+// overflow the budget, or when the `batch_flush_us` micro-flush timer
+// expires at the next driver drain. Accumulation holds SharedBytes
+// references only; the single copy batching adds happens once per message
+// at close (encode_batch), on the send side — receivers slice sub-frames
+// out of the arrival buffer, so the zero-copy delivery path is unchanged.
+//
+// Special cases that keep the wire honest and low-rate behavior identical:
+//   * a batch holding exactly one message is emitted as a plain FTMP
+//     datagram (no envelope, no copy) — an isolated heartbeat or low-rate
+//     Regular looks exactly as it did before batching existed;
+//   * a message that cannot fit the budget even alone passes through
+//     unbatched, after closing the address's open batch so per-address
+//     FIFO order is preserved;
+//   * a heartbeat that shares a closed batch with at least one data-bearing
+//     message is counted as coalesced — the §5/§6 ack/timestamp fields it
+//     carries ride a datagram that was going out anyway.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "ftmp/config.hpp"
+#include "net/packet.hpp"
+
+namespace ftcorba::ftmp {
+
+/// Counters for one stack's batching layer. Always maintained (benches sum
+/// them across a fleet regardless of FTMP_METRICS); mirrored into the
+/// process-global ftmp_batch_* metrics when those are compiled in.
+struct BatchStats {
+  std::uint64_t batch_datagrams = 0;   ///< FTMB datagrams emitted
+  std::uint64_t subframes = 0;         ///< messages packed into those
+  std::uint64_t batch_bytes = 0;       ///< bytes of emitted FTMB datagrams
+  std::uint64_t passthrough = 0;       ///< datagrams emitted unbatched
+  std::uint64_t closed_full = 0;       ///< batches closed by the byte budget
+  std::uint64_t closed_timer = 0;      ///< batches closed by the flush timer
+  std::uint64_t heartbeats_coalesced = 0;  ///< heartbeats riding a data batch
+
+  /// Mean fraction of the byte budget an emitted batch used (0 when no
+  /// batch was emitted) — the fill-ratio figure CI asserts a floor on.
+  [[nodiscard]] double fill_ratio(std::size_t budget_bytes) const {
+    if (batch_datagrams == 0 || budget_bytes == 0) return 0.0;
+    return double(batch_bytes) / (double(batch_datagrams) * double(budget_bytes));
+  }
+  /// Mean sub-frames per emitted batch datagram.
+  [[nodiscard]] double subframes_per_batch() const {
+    return batch_datagrams == 0 ? 0.0
+                                : double(subframes) / double(batch_datagrams);
+  }
+};
+
+/// Per-stack egress batcher. Disabled (a pure pass-through that stages
+/// nothing) while `batch_max_datagram_bytes` is 0.
+class Batcher {
+ public:
+  explicit Batcher(const Config& config);
+
+  [[nodiscard]] bool enabled() const {
+    return config_.batch_max_datagram_bytes > 0;
+  }
+
+  /// Stages one outgoing datagram at time `now`.
+  void stage(TimePoint now, net::Datagram&& d);
+
+  /// Appends every closed batch to `out`, then closes and appends any open
+  /// batch whose flush timer has expired (every open batch when
+  /// batch_flush_us is 0).
+  void drain(TimePoint now, std::vector<net::Datagram>& out);
+
+  /// True while messages are staged but not yet emitted.
+  [[nodiscard]] bool pending() const { return !open_.empty() || !ready_.empty(); }
+
+  [[nodiscard]] const BatchStats& stats() const { return stats_; }
+
+ private:
+  struct Open {
+    std::vector<SharedBytes> frames;
+    std::size_t bytes = 0;  ///< envelope + staged prefixes and frames
+    TimePoint opened_at = 0;
+    std::size_t heartbeats = 0;
+    bool has_data = false;  ///< any non-heartbeat sub-frame staged
+  };
+
+  void close(std::uint32_t addr_raw, Open&& open, bool by_timer);
+
+  Config config_;
+  // Keyed by raw multicast address; std::map keeps drain order
+  // deterministic across runs (the chaos digest depends on it).
+  std::map<std::uint32_t, Open> open_;
+  std::vector<net::Datagram> ready_;
+  BatchStats stats_;
+
+  // Process-global instruments (docs/METRICS.md).
+  struct Instruments {
+    metrics::CounterHandle datagrams;
+    metrics::CounterHandle subframes;
+    metrics::CounterHandle bytes;
+    metrics::CounterHandle passthrough;
+    metrics::CounterHandle closed_full;
+    metrics::CounterHandle closed_timer;
+    metrics::CounterHandle heartbeats_coalesced;
+  };
+  Instruments metrics_;
+};
+
+}  // namespace ftcorba::ftmp

@@ -513,18 +513,20 @@ class Engine {
     link.jitter = 300 * kMicrosecond;
     return link;
   }
-  static Config stack_config() {
+  Config stack_config() const {
     Config cfg;
     cfg.heartbeat_interval = 5 * kMillisecond;
     cfg.fault_timeout = 150 * kMillisecond;
     cfg.flow_window_messages = 64;
     cfg.flow_lag_warn = 50;
+    cfg.batch_max_datagram_bytes = cfg_.batch_max_datagram_bytes;
     return cfg;
   }
 
   void setup();
   void on_event(ProcessorId p, TimePoint t, const Event& ev);
   void on_wire(TimePoint t, const net::Datagram& d);
+  void check_frame(TimePoint t, BytesView frame);
   void on_step(TimePoint t);
   void apply_network_faults(TimePoint t);
   void process_crash_restarts();
@@ -706,15 +708,28 @@ void Engine::on_event(ProcessorId p, TimePoint t, const Event& ev) {
 }
 
 void Engine::on_wire(TimePoint t, const net::Datagram& d) {
-  const HeaderView hv = try_decode_header(d.payload);
+  // Batched datagrams carry several complete FTMP messages; §5's identity
+  // rule applies to each sub-frame independently (docs/WIRE.md).
+  if (looks_like_ftmp_batch(d.payload)) {
+    BatchParser parser(d.payload.view());
+    while (const auto sf = parser.next()) {
+      check_frame(t, d.payload.view().subspan(sf->offset, sf->length));
+    }
+    return;
+  }
+  check_frame(t, d.payload.view());
+}
+
+void Engine::check_frame(TimePoint t, BytesView frame) {
+  const HeaderView hv = try_decode_header(frame);
   if (!hv.ok) return;
   // Hash with the retransmission flag masked: the only byte §5 allows a
   // retransmission to change.
-  std::uint64_t hash = fnv1a64(d.payload.data(), kRetransFlagOffset);
+  std::uint64_t hash = fnv1a64(frame.data(), kRetransFlagOffset);
   const std::uint8_t zero = 0;
   hash = fnv1a64(&zero, 1, hash);
-  hash = fnv1a64(d.payload.data() + kRetransFlagOffset + 1,
-                 d.payload.size() - kRetransFlagOffset - 1, hash);
+  hash = fnv1a64(frame.data() + kRetransFlagOffset + 1,
+                 frame.size() - kRetransFlagOffset - 1, hash);
   const auto key = std::make_tuple(hv.header.source.raw(),
                                    hv.header.destination_group.raw(),
                                    hv.header.sequence_number,

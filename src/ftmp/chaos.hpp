@@ -254,6 +254,11 @@ struct CampaignConfig {
   std::string log_dir;
   /// Print progress and fault applications to stdout.
   bool verbose = false;
+  /// Forces egress batching on every stack in the fleet with this byte
+  /// budget (Config::batch_max_datagram_bytes); 0 leaves batching off.
+  /// The wire-tap §5 identity checker understands FTMB sub-frames either
+  /// way, so campaigns exercise the batched wire format under faults.
+  std::size_t batch_max_datagram_bytes = 0;
 };
 
 struct CampaignResult {

@@ -99,6 +99,24 @@ struct Config {
   std::size_t flow_queue_high_watermark = 0;
   std::size_t flow_queue_low_watermark = 0;
 
+  // ---- egress batching (docs/BATCHING.md, docs/WIRE.md) ----
+
+  /// Egress batching: pack multiple outgoing FTMP messages addressed to the
+  /// same multicast group into one wire datagram (length-prefixed
+  /// sub-frames behind an "FTMB" envelope) up to this byte budget.
+  /// Retransmissions batch too — §5's identity rule holds per sub-frame —
+  /// and a heartbeat staged alongside data rides the data-bearing datagram.
+  /// 0 disables batching entirely (default — wire format unchanged).
+  std::size_t batch_max_datagram_bytes = 0;
+
+  /// Micro-flush timer for open batches, in microseconds: a batch that is
+  /// not yet full is emitted once it has been open this long, bounding the
+  /// extra latency batching adds at low rates. 0 = flush at every driver
+  /// drain (batching then only coalesces messages staged within one event-
+  /// loop step). Effective resolution is the driver's drain cadence (the
+  /// sim harness and UDP driver both drain at least once per tick).
+  std::uint64_t batch_flush_us = 500;
+
   /// Slow-receiver policy thresholds, in timestamp ticks of stability lag
   /// (how far a member's ack timestamp trails the group maximum). Past
   /// flow_lag_warn the member is warned about (trace + metrics); past

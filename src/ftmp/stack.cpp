@@ -8,7 +8,8 @@
 namespace ftcorba::ftmp {
 
 Stack::Stack(ProcessorId self, FtDomainId domain, McastAddress domain_addr, Config config)
-    : self_(self), domain_(domain), domain_addr_(domain_addr), config_(config) {
+    : self_(self), domain_(domain), domain_addr_(domain_addr), config_(config),
+      batcher_(config_) {
   subscriptions_.insert(domain_addr_.raw());
   malformed_ = metrics::counter(
       "ftmp_stack_malformed_datagrams_total",
@@ -244,22 +245,43 @@ void Stack::client_on_connect(TimePoint now, const Message& msg) {
 
 void Stack::on_datagram(TimePoint now, const net::Datagram& datagram) {
   last_now_ = std::max(last_now_, now);
+  if (looks_like_ftmp_batch(datagram.payload)) {
+    // Batched datagram: each sub-frame is a complete FTMP message processed
+    // as if it had arrived alone, sliced (not copied) out of the arrival
+    // buffer. Envelope corruption drops the remainder of the batch but not
+    // the sub-frames already yielded (each is length-delimited).
+    BatchParser parser(datagram.payload.view());
+    while (const auto sf = parser.next()) {
+      on_frame(now, datagram.payload.slice(sf->offset, sf->length));
+    }
+    if (!parser.ok()) {
+      stats_.malformed_datagrams += 1;
+      malformed_.add();
+      FTC_LOG(kDebug) << to_string(self_)
+                      << ": dropping malformed batch datagram: " << parser.error();
+    }
+    return;
+  }
   if (!looks_like_ftmp(datagram.payload)) {
     stats_.malformed_datagrams += 1;
     malformed_.add();
     return;
   }
+  on_frame(now, datagram.payload);
+}
+
+void Stack::on_frame(TimePoint now, const SharedBytes& payload) {
   // Hot path: decode only the fixed 45-byte header; the body stays a raw
   // slice of the arrival buffer and is decoded once, at its point of
   // consumption (docs/BUFFERS.md).
-  const HeaderView hv = try_decode_header(datagram.payload);
+  const HeaderView hv = try_decode_header(payload);
   if (!hv) {
     stats_.malformed_datagrams += 1;
     malformed_.add();
     FTC_LOG(kDebug) << to_string(self_) << ": dropping malformed datagram: " << hv.error;
     return;
   }
-  const Frame frame{hv.header, datagram.payload};
+  const Frame frame{hv.header, payload};
 
   // The few message types the Stack itself consumes (connection
   // establishment and session-less joins) need their bodies here; a
@@ -410,6 +432,14 @@ void Stack::tick(TimePoint now) {
 
 std::vector<net::Datagram> Stack::take_packets() {
   std::vector<net::Datagram> out;
+  if (batcher_.enabled()) {
+    for (net::Datagram& d : outbox_.packets) {
+      batcher_.stage(last_now_, std::move(d));
+    }
+    outbox_.packets.clear();
+    batcher_.drain(last_now_, out);
+    return out;
+  }
   out.swap(outbox_.packets);
   return out;
 }

@@ -19,6 +19,7 @@
 #include "common/clock.hpp"
 #include "common/ids.hpp"
 #include "common/metrics.hpp"
+#include "ftmp/batch.hpp"
 #include "ftmp/config.hpp"
 #include "ftmp/events.hpp"
 #include "ftmp/group_session.hpp"
@@ -148,6 +149,8 @@ class Stack {
   // ---- IO (driver-facing) ----
 
   /// Feeds one received datagram. Malformed input is counted and dropped.
+  /// A batched ("FTMB") datagram is split here and each sub-frame processed
+  /// as if it had arrived alone, as a zero-copy slice of the arrival buffer.
   void on_datagram(TimePoint now, const net::Datagram& datagram);
 
   /// Advances all timers (heartbeats, NACK refresh, fault detection,
@@ -155,7 +158,10 @@ class Stack {
   /// of simulated/real time.
   void tick(TimePoint now);
 
-  /// Drains datagrams to transmit.
+  /// Drains datagrams to transmit. With batching enabled
+  /// (Config::batch_max_datagram_bytes > 0) outgoing messages are staged
+  /// through the egress Batcher; a not-yet-full batch is held across calls
+  /// until its micro-flush timer (Config::batch_flush_us) expires.
   [[nodiscard]] std::vector<net::Datagram> take_packets();
 
   /// Drains upward events.
@@ -166,6 +172,9 @@ class Stack {
 
   /// Input-error counters.
   [[nodiscard]] const StackStats& stats() const { return stats_; }
+
+  /// Egress-batching counters (all zero while batching is disabled).
+  [[nodiscard]] const BatchStats& batch_stats() const { return batcher_.stats(); }
 
  private:
   struct ClientConn {
@@ -185,6 +194,7 @@ class Stack {
     bool traffic_seen = false;  // a Regular on this connection was delivered
   };
 
+  void on_frame(TimePoint now, const SharedBytes& payload);
   void send_connect_request(TimePoint now, const ConnectionId& conn, ClientConn& state);
   void server_on_connect_request(TimePoint now, const Message& msg);
   void client_on_connect(TimePoint now, const Message& msg);
@@ -197,6 +207,7 @@ class Stack {
   McastAddress domain_addr_;
   Config config_;
   Outbox outbox_;
+  Batcher batcher_;
   std::unordered_map<ProcessorGroupId, std::unique_ptr<GroupSession>> sessions_;
   std::unordered_map<ProcessorGroupId, McastAddress> expected_joins_;
   // High-water membership timestamp per group, kept across drop_group: a

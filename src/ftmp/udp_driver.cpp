@@ -21,9 +21,10 @@ void UdpDriver::flush(TimePoint now) {
   for (McastAddress addr : stack_.subscriptions()) {
     transport_.join(addr);
   }
-  for (const net::Datagram& d : stack_.take_packets()) {
-    transport_.send(d);
-  }
+  // One sendmmsg(2) per drain: with egress batching enabled the stack hands
+  // over few large datagrams; without it this still collapses a burst of
+  // sends into one syscall.
+  transport_.send_many(stack_.take_packets());
   auto evs = stack_.take_events();
   events_.insert(events_.end(), std::make_move_iterator(evs.begin()),
                  std::make_move_iterator(evs.end()));
@@ -33,11 +34,11 @@ bool UdpDriver::poll_once(Duration max_wait) {
   const TimePoint start = wall_now();
   Duration wait = max_wait;
   if (next_tick_ > start) wait = std::min(wait, next_tick_ - start);
-  auto datagram = transport_.receive(wait);
+  auto datagrams = transport_.receive_many(wait);
   const TimePoint now = wall_now();
   bool processed = false;
-  if (datagram) {
-    stack_.on_datagram(now, *datagram);
+  for (const net::Datagram& d : datagrams) {
+    stack_.on_datagram(now, d);
     processed = true;
   }
   if (now >= next_tick_) {

@@ -170,4 +170,95 @@ SharedBytes with_retransmission_flag(BytesView encoded) {
   return SharedBytes::share_pooled(std::move(buf));
 }
 
+namespace {
+constexpr std::uint8_t kBatchMagic[4] = {'F', 'T', 'M', 'B'};
+}  // namespace
+
+bool looks_like_ftmp_batch(BytesView datagram) {
+  if (datagram.size() < 4) return false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (datagram[i] != kBatchMagic[i]) return false;
+  }
+  return true;
+}
+
+SharedBytes encode_batch(const std::vector<SharedBytes>& frames) {
+  std::size_t total = kBatchHeaderSize;
+  for (const SharedBytes& f : frames) total += kBatchLenPrefixSize + f.size();
+  Bytes buf = pool_acquire(total);
+  std::uint8_t* p = buf.data();
+  std::memcpy(p, kBatchMagic, 4);
+  p[kBatchVersionOffset] = kBatchVersion;
+  p[kBatchCountOffset] = static_cast<std::uint8_t>((frames.size() >> 8) & 0xFF);
+  p[kBatchCountOffset + 1] = static_cast<std::uint8_t>(frames.size() & 0xFF);
+  std::size_t pos = kBatchHeaderSize;
+  for (const SharedBytes& f : frames) {
+    const std::uint32_t len = static_cast<std::uint32_t>(f.size());
+    p[pos + 0] = static_cast<std::uint8_t>((len >> 24) & 0xFF);
+    p[pos + 1] = static_cast<std::uint8_t>((len >> 16) & 0xFF);
+    p[pos + 2] = static_cast<std::uint8_t>((len >> 8) & 0xFF);
+    p[pos + 3] = static_cast<std::uint8_t>(len & 0xFF);
+    pos += kBatchLenPrefixSize;
+    if (!f.empty()) std::memcpy(p + pos, f.data(), f.size());
+    detail::note_copied_bytes(f.size());
+    pos += f.size();
+  }
+  return SharedBytes::share_pooled(std::move(buf));
+}
+
+BatchParser::BatchParser(BytesView datagram) : data_(datagram) {
+  if (!looks_like_ftmp_batch(data_)) {
+    error_ = "bad FTMB magic";
+    return;
+  }
+  if (data_.size() < kBatchHeaderSize) {
+    error_ = "truncated batch envelope: " + std::to_string(data_.size()) +
+             " of " + std::to_string(kBatchHeaderSize) + " bytes";
+    return;
+  }
+  if (data_[kBatchVersionOffset] != kBatchVersion) {
+    error_ = "unsupported batch version " +
+             std::to_string(data_[kBatchVersionOffset]);
+    return;
+  }
+  count_ = static_cast<std::uint16_t>(
+      (std::uint16_t(data_[kBatchCountOffset]) << 8) |
+      data_[kBatchCountOffset + 1]);
+  if (count_ == 0) error_ = "empty batch";
+}
+
+std::optional<BatchParser::SubFrame> BatchParser::next() {
+  if (!error_.empty()) return std::nullopt;
+  if (seen_ == count_) {
+    if (pos_ != data_.size()) {
+      error_ = "trailing bytes after last sub-frame: " +
+               std::to_string(data_.size() - pos_);
+    }
+    return std::nullopt;
+  }
+  if (pos_ + kBatchLenPrefixSize > data_.size()) {
+    error_ = "truncated sub-frame length prefix at " + std::to_string(pos_) +
+             " of " + std::to_string(data_.size());
+    return std::nullopt;
+  }
+  const std::size_t len = (std::size_t(data_[pos_]) << 24) |
+                          (std::size_t(data_[pos_ + 1]) << 16) |
+                          (std::size_t(data_[pos_ + 2]) << 8) |
+                          std::size_t(data_[pos_ + 3]);
+  pos_ += kBatchLenPrefixSize;
+  if (len < kHeaderSize) {
+    error_ = "sub-frame shorter than an FTMP header: " + std::to_string(len);
+    return std::nullopt;
+  }
+  if (len > data_.size() - pos_) {
+    error_ = "sub-frame length " + std::to_string(len) + " runs past end at " +
+             std::to_string(pos_) + " of " + std::to_string(data_.size());
+    return std::nullopt;
+  }
+  const SubFrame out{pos_, len};
+  pos_ += len;
+  seen_ += 1;
+  return out;
+}
+
 }  // namespace ftcorba::ftmp

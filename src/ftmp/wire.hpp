@@ -153,4 +153,70 @@ void patch_header_u64(std::uint8_t* datagram, std::size_t offset,
 /// this runs only on the cold retransmit path.
 [[nodiscard]] SharedBytes with_retransmission_flag(BytesView encoded);
 
+// --- Batched datagrams (docs/WIRE.md, docs/BATCHING.md) ----------------------
+// A batch datagram packs several complete FTMP messages into one wire
+// datagram: a 7-byte envelope followed by length-prefixed sub-frames. Each
+// sub-frame is byte-for-byte a standalone FTMP message (45-byte header
+// included), so §5's retransmission-identity rule, the golden header
+// offsets above and receiver-makes-right byte ordering all apply per
+// sub-frame unchanged. The envelope itself is byte-order independent: the
+// count and the length prefixes are always big-endian (network order),
+// regardless of the byte-order flags the contained messages announce.
+
+inline constexpr std::size_t kBatchMagicOffset = 0;    // 4 bytes "FTMB"
+inline constexpr std::size_t kBatchVersionOffset = 4;  // u8 batch version
+inline constexpr std::size_t kBatchCountOffset = 5;    // u16 BE sub-frame count
+/// Encoded size of the batch envelope in bytes.
+inline constexpr std::size_t kBatchHeaderSize = 7;
+/// Each sub-frame is preceded by its length as a big-endian u32.
+inline constexpr std::size_t kBatchLenPrefixSize = 4;
+/// Batch envelope version this implementation speaks.
+inline constexpr std::uint8_t kBatchVersion = 1;
+
+static_assert(kBatchVersionOffset == kBatchMagicOffset + 4, "batch magic is 4 bytes");
+static_assert(kBatchCountOffset == kBatchVersionOffset + 1, "batch version is u8");
+static_assert(kBatchHeaderSize == kBatchCountOffset + 2, "sub-frame count is u16");
+
+/// Checks whether a datagram starts with the batch magic "FTMB".
+[[nodiscard]] bool looks_like_ftmp_batch(BytesView datagram);
+
+/// Encodes a batch datagram from complete encoded FTMP messages. The buffer
+/// comes from the datagram pool and the per-message copies are counted in
+/// the process-global alloc statistics (the one copy batching adds, on the
+/// send side only — receivers slice sub-frames out of the arrival buffer).
+[[nodiscard]] SharedBytes encode_batch(const std::vector<SharedBytes>& frames);
+
+/// Walks the sub-frames of a batch datagram without copying: each next()
+/// yields the (offset, length) of one sub-frame within the datagram, so
+/// callers slice their own buffer type (SharedBytes at stack ingress,
+/// BytesView in the chaos wire tap). Envelope corruption — bad magic,
+/// unsupported version, a length prefix running past the end, trailing
+/// bytes — stops the walk and sets error(); sub-frames already yielded are
+/// intact (each is length-delimited).
+class BatchParser {
+ public:
+  struct SubFrame {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+  };
+
+  explicit BatchParser(BytesView datagram);
+
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Sub-frame count the envelope declares.
+  [[nodiscard]] std::uint16_t declared_count() const { return count_; }
+
+  /// The next sub-frame, or nullopt at the end of the batch or on a
+  /// malformed envelope (check ok() to tell the two apart).
+  std::optional<SubFrame> next();
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = kBatchHeaderSize;
+  std::uint16_t count_ = 0;
+  std::uint16_t seen_ = 0;
+  std::string error_;
+};
+
 }  // namespace ftcorba::ftmp

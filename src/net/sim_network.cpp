@@ -147,12 +147,15 @@ void SimNetwork::send(TimePoint now, ProcessorId from, const Datagram& datagram)
   // transmission serves every receiver (multicast on a shared medium).
   TimePoint depart = now;
   const LinkModel& sender_model = link(from, from);
-  if (sender_model.bandwidth_bps > 0) {
+  if (sender_model.bandwidth_bps > 0 || sender_model.per_packet_cost > 0) {
     TimePoint& free_at = uplink_free_at_[from.raw()];
     depart = std::max(now, free_at);
-    const auto tx_time = static_cast<Duration>(
-        double(datagram.payload.size()) * 8.0 * double(kSecond) /
-        sender_model.bandwidth_bps);
+    Duration tx_time = sender_model.per_packet_cost;
+    if (sender_model.bandwidth_bps > 0) {
+      tx_time += static_cast<Duration>(
+          double(datagram.payload.size()) * 8.0 * double(kSecond) /
+          sender_model.bandwidth_bps);
+    }
     free_at = depart + tx_time;
     depart = free_at;
   }

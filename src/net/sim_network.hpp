@@ -48,6 +48,14 @@ struct LinkModel {
   /// on a shared medium), which is what makes asymmetric protocols — e.g. a
   /// sequencer emitting a ticket per message — saturate realistically.
   double bandwidth_bps = 0;
+  /// Fixed per-datagram transmit cost added to the uplink serialization
+  /// time, independent of size — models per-packet overhead (interrupt,
+  /// syscall, driver ring, inter-frame gap) that makes many small datagrams
+  /// slower than one large one, which is exactly what egress batching
+  /// (docs/BATCHING.md) trades against. 0 (default) adds nothing and, with
+  /// bandwidth_bps == 0, leaves the uplink entirely unserialized so
+  /// existing seeded runs are byte-identical.
+  Duration per_packet_cost = 0;
   /// Gilbert–Elliott correlated-loss model. When `burst_loss` > 0 the link
   /// is a two-state Markov chain advanced once per packet: in the good
   /// state packets drop with probability `loss`, in the bad state with

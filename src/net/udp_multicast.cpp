@@ -128,6 +128,49 @@ void UdpMulticastTransport::send(const Datagram& datagram) {
   metrics_.bytes_out.add(static_cast<std::uint64_t>(n));
 }
 
+void UdpMulticastTransport::send_many(const std::vector<Datagram>& datagrams) {
+  if (datagrams.empty()) return;
+#ifdef __linux__
+  // One syscall for the whole burst: each message carries its own
+  // destination group address on the shared send socket.
+  std::vector<sockaddr_in> dests(datagrams.size());
+  std::vector<iovec> iovs(datagrams.size());
+  std::vector<mmsghdr> msgs(datagrams.size());
+  for (std::size_t i = 0; i < datagrams.size(); ++i) {
+    sockaddr_in& dest = dests[i];
+    dest.sin_family = AF_INET;
+    dest.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, group_ip(datagrams[i].addr).c_str(),
+                    &dest.sin_addr) != 1) {
+      throw TransportError("bad group ip");
+    }
+    iovs[i].iov_base = const_cast<std::uint8_t*>(datagrams[i].payload.data());
+    iovs[i].iov_len = datagrams[i].payload.size();
+    msgs[i] = mmsghdr{};
+    msgs[i].msg_hdr.msg_name = &dest;
+    msgs[i].msg_hdr.msg_namelen = sizeof(dest);
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  std::size_t sent = 0;
+  while (sent < msgs.size()) {
+    const int n = ::sendmmsg(send_fd_, msgs.data() + sent,
+                             static_cast<unsigned>(msgs.size() - sent), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("sendmmsg");
+    }
+    for (int i = 0; i < n; ++i) {
+      metrics_.datagrams_out.add();
+      metrics_.bytes_out.add(msgs[sent + std::size_t(i)].msg_len);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+#else
+  for (const Datagram& d : datagrams) send(d);
+#endif
+}
+
 std::optional<Datagram> UdpMulticastTransport::receive(Duration timeout) {
   if (group_fds_.empty()) return std::nullopt;
   std::vector<pollfd> fds;
@@ -162,6 +205,74 @@ std::optional<Datagram> UdpMulticastTransport::receive(Duration timeout) {
                     SharedBytes::share_pooled(std::move(buf))};
   }
   return std::nullopt;
+}
+
+std::vector<Datagram> UdpMulticastTransport::receive_many(Duration timeout,
+                                                          std::size_t max_batch) {
+  std::vector<Datagram> out;
+  if (group_fds_.empty() || max_batch == 0) return out;
+  std::vector<pollfd> fds;
+  std::vector<std::uint32_t> addrs;
+  fds.reserve(group_fds_.size());
+  for (auto& [addr, fd] : group_fds_) {
+    fds.push_back(pollfd{fd, POLLIN, 0});
+    addrs.push_back(addr);
+  }
+  const int timeout_ms =
+      static_cast<int>(std::max<Duration>(0, timeout) / kMillisecond);
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return out;
+    fail("poll");
+  }
+  if (ready == 0) return out;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (!(fds[i].revents & POLLIN)) continue;
+#ifdef __linux__
+    // Drain the socket with one syscall into pooled 64 KiB buffers; each
+    // becomes a zero-copy Datagram payload.
+    std::vector<Bytes> bufs;
+    std::vector<iovec> iovs(max_batch);
+    std::vector<mmsghdr> msgs(max_batch);
+    bufs.reserve(max_batch);
+    for (std::size_t m = 0; m < max_batch; ++m) {
+      bufs.push_back(pool_acquire(65536));
+      iovs[m].iov_base = bufs[m].data();
+      iovs[m].iov_len = bufs[m].size();
+      msgs[m] = mmsghdr{};
+      msgs[m].msg_hdr.msg_iov = &iovs[m];
+      msgs[m].msg_hdr.msg_iovlen = 1;
+    }
+    const int n = ::recvmmsg(fds[i].fd, msgs.data(),
+                             static_cast<unsigned>(max_batch), MSG_DONTWAIT,
+                             nullptr);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      fail("recvmmsg");
+    }
+    for (int m = 0; m < n; ++m) {
+      Bytes buf = std::move(bufs[std::size_t(m)]);
+      buf.resize(msgs[std::size_t(m)].msg_len);
+      metrics_.datagrams_in.add();
+      metrics_.bytes_in.add(msgs[std::size_t(m)].msg_len);
+      out.push_back(Datagram{McastAddress{addrs[i]},
+                             SharedBytes::share_pooled(std::move(buf))});
+    }
+#else
+    Bytes buf = pool_acquire(65536);
+    const ssize_t n = ::recv(fds[i].fd, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EINTR) continue;
+      fail("recv");
+    }
+    buf.resize(static_cast<std::size_t>(n));
+    metrics_.datagrams_in.add();
+    metrics_.bytes_in.add(static_cast<std::uint64_t>(n));
+    out.push_back(Datagram{McastAddress{addrs[i]},
+                           SharedBytes::share_pooled(std::move(buf))});
+#endif
+  }
+  return out;
 }
 
 }  // namespace ftcorba::net

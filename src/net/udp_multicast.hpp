@@ -64,9 +64,23 @@ class UdpMulticastTransport {
   /// Sends one datagram to the group address.
   void send(const Datagram& datagram);
 
+  /// Sends a burst of datagrams with one sendmmsg(2) syscall on Linux
+  /// (falls back to per-datagram send() elsewhere). The egress batching
+  /// layer (docs/BATCHING.md) hands the driver several datagrams per drain;
+  /// this collapses the per-datagram syscall cost the same way batching
+  /// collapses per-datagram wire cost.
+  void send_many(const std::vector<Datagram>& datagrams);
+
   /// Waits up to `timeout` for a datagram on any joined group.
   /// Returns std::nullopt on timeout.
   [[nodiscard]] std::optional<Datagram> receive(Duration timeout);
+
+  /// Waits up to `timeout` for traffic, then drains up to `max_batch`
+  /// datagrams per ready group socket with one recvmmsg(2) syscall each on
+  /// Linux (single recv fallback elsewhere), into pooled buffers. Returns
+  /// an empty vector on timeout.
+  [[nodiscard]] std::vector<Datagram> receive_many(Duration timeout,
+                                                   std::size_t max_batch = 16);
 
   /// Dotted-quad group IP for a McastAddress (exposed for logging/tests).
   [[nodiscard]] static std::string group_ip(McastAddress addr);

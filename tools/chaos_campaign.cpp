@@ -41,6 +41,8 @@ void print_usage() {
                "  --procs N         fleet size (default 6)\n"
                "  --duration MS     simulated campaign length in ms (default 30000)\n"
                "  --faults N        scheduled fault count (default 10)\n"
+               "  --batch BYTES     force egress batching on with this datagram\n"
+               "                    byte budget (default 0 = batching off)\n"
                "\n"
                "output / checking:\n"
                "  --repeat K        run each seed K times and require identical\n"
@@ -61,6 +63,7 @@ struct Options {
   std::uint64_t count = 0;
   std::uint64_t start_seed = 1;
   chaos::ScheduleParams params;
+  std::size_t batch_max_datagram_bytes = 0;
   std::size_t repeat = 1;
   std::string trace_path;
   std::string json_path;
@@ -118,6 +121,10 @@ bool parse_options(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (!v || !parse_u64(v, n)) return false;
       opt.params.faults = std::size_t(n);
+    } else if (arg == "--batch") {
+      const char* v = value();
+      if (!v || !parse_u64(v, n)) return false;
+      opt.batch_max_datagram_bytes = std::size_t(n);
     } else if (arg == "--repeat") {
       const char* v = value();
       if (!v || !parse_u64(v, n) || n == 0) return false;
@@ -210,6 +217,7 @@ int main(int argc, char** argv) {
     cfg.params = opt.params;
     cfg.trace_path = opt.trace_path;
     cfg.verbose = opt.verbose;
+    cfg.batch_max_datagram_bytes = opt.batch_max_datagram_bytes;
     if (opt.print_schedule) {
       std::printf("%s", chaos::generate_schedule(seed, opt.params).to_string().c_str());
     }

@@ -22,6 +22,7 @@
 #include "ftmp/chaos.hpp"
 #include "ftmp/fragment.hpp"
 #include "ftmp/messages.hpp"
+#include "ftmp/wire.hpp"
 #include "giop/messages.hpp"
 
 using namespace ftcorba;
@@ -102,17 +103,9 @@ bool print_giop(BytesView payload) {
   return true;
 }
 
-int inspect(const Bytes& datagram) {
-  auto inspected = metrics::counter("inspect_datagrams_total",
-                                    "Datagrams fed to ftmp_inspect",
-                                    "datagrams", "tools");
-  auto malformed = metrics::counter("inspect_malformed_total",
-                                    "Datagrams ftmp_inspect failed to decode",
-                                    "datagrams", "tools");
-  inspected.add();
+int inspect_one(const Bytes& datagram) {
   if (!ftmp::looks_like_ftmp(datagram)) {
     std::printf("not an FTMP datagram (magic mismatch)\n");
-    malformed.add();
     return 1;
   }
   ftmp::Message msg;
@@ -120,7 +113,6 @@ int inspect(const Bytes& datagram) {
     msg = ftmp::decode_message(datagram);
   } catch (const CodecError& e) {
     std::printf("FTMP decode failed: %s\n", e.what());
-    malformed.add();
     return 1;
   }
   const ftmp::Header& h = msg.header;
@@ -149,7 +141,6 @@ int inspect(const Bytes& datagram) {
     std::printf("    request num      %llu\n",
                 static_cast<unsigned long long>(regular->request_num));
     if (!print_giop(regular->giop_message)) {
-      malformed.add();
       return 1;
     }
   } else if (const auto* nack = std::get_if<ftmp::RetransmitRequestBody>(&msg.body)) {
@@ -190,6 +181,46 @@ int inspect(const Bytes& datagram) {
   return 0;
 }
 
+int inspect(const Bytes& datagram) {
+  auto inspected = metrics::counter("inspect_datagrams_total",
+                                    "Datagrams fed to ftmp_inspect",
+                                    "datagrams", "tools");
+  auto malformed = metrics::counter("inspect_malformed_total",
+                                    "Datagrams ftmp_inspect failed to decode",
+                                    "datagrams", "tools");
+  inspected.add();
+  // A batch ("FTMB", docs/WIRE.md §5) unwraps to length-delimited complete
+  // FTMP messages; decode each sub-frame exactly as a standalone datagram.
+  if (ftmp::looks_like_ftmp_batch(datagram)) {
+    ftmp::BatchParser parser(BytesView(datagram.data(), datagram.size()));
+    std::printf("FTMB batch v%u, %u sub-frames, %zu bytes\n",
+                unsigned(datagram[ftmp::kBatchVersionOffset]),
+                parser.declared_count(), datagram.size());
+    int rc = 0;
+    std::size_t index = 0;
+    while (auto sf = parser.next()) {
+      std::printf("  -- sub-frame %zu/%u, %zu bytes --\n", ++index,
+                  parser.declared_count(), sf->length);
+      Bytes frame(datagram.begin() + static_cast<std::ptrdiff_t>(sf->offset),
+                  datagram.begin() +
+                      static_cast<std::ptrdiff_t>(sf->offset + sf->length));
+      if (inspect_one(frame) != 0) {
+        malformed.add();
+        rc = 1;
+      }
+    }
+    if (!parser.ok()) {
+      std::printf("malformed batch envelope: %s\n", parser.error().c_str());
+      malformed.add();
+      return 1;
+    }
+    return rc;
+  }
+  const int rc = inspect_one(datagram);
+  if (rc != 0) malformed.add();
+  return rc;
+}
+
 /// Offline invariant replay of a chaos campaign trace (docs/CHAOS.md):
 /// re-runs the replayable checkers — total order, view agreement, no
 /// duplicate/skipped delivery — over the recorded D/V/R records, with the
@@ -228,7 +259,8 @@ void print_usage() {
                "       ftmp_inspect --invariants <trace-file>\n"
                "\n"
                "Decodes hex-encoded FTMP datagrams (and nested GIOP bodies) to a\n"
-               "human-readable description. Each datagram also reports its\n"
+               "human-readable description. Batch (\"FTMB\") datagrams are\n"
+               "unwrapped and each sub-frame decoded in place. Each datagram also reports its\n"
                "unstable span (message ts - ack ts): the stability lag the\n"
                "flow-control send window bounds (docs/FLOW.md).\n"
                "\n"
