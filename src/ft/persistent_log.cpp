@@ -1,8 +1,11 @@
 #include "ft/persistent_log.hpp"
 
+#include <filesystem>
 #include <stdexcept>
 
 #include "common/codec.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace ftcorba::ft {
 
@@ -36,6 +39,34 @@ std::uint32_t crc32(BytesView data) {
 }
 
 PersistentLog::PersistentLog(std::string path) : path_(std::move(path)) {
+  // Recover-to-last-good-record before appending: a crash mid-fwrite leaves
+  // a torn tail, and appends behind a tear would be invisible to load()'s
+  // stop-at-first-bad-record replay — truncate the tear away first.
+  const LogScan existing = scan(path_);
+  if (!existing.clean()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path_, existing.good_bytes, ec);
+    if (ec) {
+      throw std::runtime_error("cannot truncate torn log tail: " + path_ +
+                               ": " + ec.message());
+    }
+    recovered_bytes_discarded_ = existing.discarded_bytes;
+    FTC_LOG(kWarn) << "persistent log " << path_ << ": discarded "
+                   << existing.discarded_bytes
+                   << " torn tail bytes; recovered to last good record at "
+                   << existing.good_bytes;
+    static metrics::CounterHandle truncations = metrics::counter(
+        "ftmp_ft_log_tail_truncations_total",
+        "Log files whose torn/corrupt tail was truncated back to the last "
+        "intact record on open",
+        "files", "ft");
+    static metrics::CounterHandle truncated_bytes = metrics::counter(
+        "ftmp_ft_log_tail_truncated_bytes_total",
+        "Torn/corrupt tail bytes discarded by open-time recovery", "bytes",
+        "ft");
+    truncations.add();
+    truncated_bytes.add(existing.discarded_bytes);
+  }
   file_ = std::fopen(path_.c_str(), "ab");
   if (!file_) throw std::runtime_error("cannot open log file: " + path_);
 }
@@ -60,8 +91,8 @@ void PersistentLog::flush() {
   if (file_) std::fflush(file_);
 }
 
-std::vector<LogEntry> PersistentLog::load(const std::string& path) {
-  std::vector<LogEntry> out;
+LogScan PersistentLog::scan(const std::string& path) {
+  LogScan out;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) return out;
   Bytes content;
@@ -72,16 +103,20 @@ std::vector<LogEntry> PersistentLog::load(const std::string& path) {
   }
   std::fclose(f);
 
+  const auto stop = [&] {
+    out.discarded_bytes = content.size() - out.good_bytes;
+    return out;
+  };
   Reader r(content, ByteOrder::kBig);
   while (r.remaining() > 0) {
     const std::size_t record_start = r.position();
     try {
       for (std::uint8_t expected : kMagic) {
-        if (r.u8() != expected) return out;  // torn/garbage: stop
+        if (r.u8() != expected) return stop();  // torn/garbage: stop
       }
       LogEntry entry;
       const std::uint8_t kind = r.u8();
-      if (kind > 1) return out;
+      if (kind > 1) return stop();
       entry.kind = static_cast<MessageKind>(kind);
       entry.connection.client_domain = FtDomainId{r.u32()};
       entry.connection.client_group = ObjectGroupId{r.u32()};
@@ -93,13 +128,18 @@ std::vector<LogEntry> PersistentLog::load(const std::string& path) {
       const std::size_t record_end = r.position();
       const std::uint32_t stored_crc = r.u32();
       const BytesView body{content.data() + record_start, record_end - record_start};
-      if (crc32(body) != stored_crc) return out;  // corrupt: stop
-      out.push_back(std::move(entry));
+      if (crc32(body) != stored_crc) return stop();  // corrupt: stop
+      out.entries.push_back(std::move(entry));
+      out.good_bytes = r.position();
     } catch (const CodecError&) {
-      return out;  // truncated tail: stop
+      return stop();  // truncated tail: stop
     }
   }
   return out;
+}
+
+std::vector<LogEntry> PersistentLog::load(const std::string& path) {
+  return scan(path).entries;
 }
 
 MessageLog PersistentLog::load_into_memory(const std::string& path) {

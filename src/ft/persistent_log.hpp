@@ -24,10 +24,26 @@ namespace ftcorba::ft {
 /// CRC-32 (IEEE 802.3, reflected) over a byte range.
 [[nodiscard]] std::uint32_t crc32(BytesView data);
 
+/// Result of scanning a log file: the intact prefix plus tear diagnostics.
+struct LogScan {
+  std::vector<LogEntry> entries;
+  /// File offset just past the last intact record (the recoverable prefix).
+  std::size_t good_bytes = 0;
+  /// Torn/corrupt bytes after the last intact record (0 on a clean file).
+  std::size_t discarded_bytes = 0;
+
+  /// True when the whole file parsed as intact records.
+  [[nodiscard]] bool clean() const { return discarded_bytes == 0; }
+};
+
 /// Append-only durable log writer.
 class PersistentLog {
  public:
-  /// Opens (creating if needed) `path` for appending.
+  /// Opens (creating if needed) `path` for appending. If the existing file
+  /// ends in a torn or corrupt tail (e.g. a crash mid-fwrite), the tail is
+  /// truncated back to the last intact record BEFORE appending — otherwise
+  /// every later append would sit behind the tear, unreachable to load()'s
+  /// stop-at-first-bad-record recovery.
   /// Throws std::runtime_error if the file cannot be opened.
   explicit PersistentLog(std::string path);
   ~PersistentLog();
@@ -44,6 +60,16 @@ class PersistentLog {
   /// Bytes appended through this writer.
   [[nodiscard]] std::size_t bytes_written() const { return bytes_written_; }
 
+  /// Torn-tail bytes discarded when this writer opened the file (0 when the
+  /// file was clean or absent).
+  [[nodiscard]] std::size_t recovered_bytes_discarded() const {
+    return recovered_bytes_discarded_;
+  }
+
+  /// Parses a log file: every intact record, the end offset of the intact
+  /// prefix, and how many torn/corrupt tail bytes follow it.
+  [[nodiscard]] static LogScan scan(const std::string& path);
+
   /// Reads every intact record of a log file, stopping silently at the
   /// first torn or corrupt one.
   [[nodiscard]] static std::vector<LogEntry> load(const std::string& path);
@@ -55,6 +81,7 @@ class PersistentLog {
   std::string path_;
   std::FILE* file_ = nullptr;
   std::size_t bytes_written_ = 0;
+  std::size_t recovered_bytes_discarded_ = 0;
 };
 
 }  // namespace ftcorba::ft

@@ -12,9 +12,11 @@
 #include <memory>
 #include <sstream>
 
+#include "common/codec.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "ft/persistent_log.hpp"
+#include "ft/state_transfer.hpp"
 #include "ftmp/sim_harness.hpp"
 #include "ftmp/wire.hpp"
 
@@ -41,6 +43,7 @@ const char* to_string(InvariantKind k) {
     case InvariantKind::kRetransmitIdentity: return "retransmit-identity";
     case InvariantKind::kPrimaryExclusivity: return "primary-exclusivity";
     case InvariantKind::kFlowBalance: return "flow-balance";
+    case InvariantKind::kStateConvergence: return "state-convergence";
   }
   return "?";
 }
@@ -352,8 +355,36 @@ void InvariantChecker::drain_pending(std::uint32_t group, bool force) {
   }
 }
 
+void InvariantChecker::on_state_digest(const StateDigestRecord& s) {
+  // A forked member's digests describe an abandoned tail; like its
+  // deliveries, they are unchecked until it resets and rejoins.
+  if (forked_.contains({s.group, s.proc})) return;
+  last_digest_[{s.group, s.proc}] = s;
+}
+
 void InvariantChecker::finalize() {
   for (auto& [group, ledger] : ledgers_) drain_pending(group, /*force=*/true);
+  // State convergence: among each group's final digest broadcasts, any two
+  // members claiming the same applied position (fingerprint) must hold the
+  // same rolling state digest — same messages, same order, same bytes.
+  for (auto a = last_digest_.begin(); a != last_digest_.end(); ++a) {
+    if (forked_.contains(a->first)) continue;
+    for (auto b = std::next(a); b != last_digest_.end(); ++b) {
+      if (b->first.first != a->first.first) break;  // map is group-major
+      if (forked_.contains(b->first)) continue;
+      const StateDigestRecord& x = a->second;
+      const StateDigestRecord& y = b->second;
+      if (x.fingerprint == y.fingerprint && x.digest != y.digest) {
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "P%u and P%u share state fingerprint %llx but report "
+                      "digests %llx vs %llx",
+                      x.proc, y.proc, (unsigned long long)x.fingerprint,
+                      (unsigned long long)x.digest, (unsigned long long)y.digest);
+        flag(InvariantKind::kStateConvergence, std::max(x.at, y.at), x.proc, buf);
+      }
+    }
+  }
 }
 
 void InvariantChecker::on_view(const ViewRecord& v) {
@@ -463,6 +494,11 @@ void InvariantChecker::on_reset(std::uint32_t proc) {
   for (auto it = last_view_.begin(); it != last_view_.end();) {
     it = it->first.second == proc ? last_view_.erase(it) : std::next(it);
   }
+  // The dead incarnation's digest claims die with it; the fresh one speaks
+  // for itself after its state transfer completes.
+  for (auto it = last_digest_.begin(); it != last_digest_.end();) {
+    it = it->first.second == proc ? last_digest_.erase(it) : std::next(it);
+  }
   // A reset abandons any fork: the fresh incarnation re-enters at a join
   // cut and is checked normally from there.
   for (auto it = forked_.begin(); it != forked_.end();) {
@@ -484,6 +520,44 @@ ConnectionId chaos_conn() {
                       ObjectGroupId{8}};
 }
 
+/// The campaign's application state machine: an order-sensitive hash chain
+/// plus the full per-message hash history, so snapshots grow with applied
+/// traffic (several chunks by mid-campaign — the transfer window, resume
+/// and reassembly paths all get exercised) and any ordering or payload
+/// divergence between members shows up as differing accumulators.
+class ToyState final : public ft::Checkpointable {
+ public:
+  void apply(const DeliveredMessage& m) {
+    const std::uint64_t h = fnv1a64(m.giop_message.data(), m.giop_message.size());
+    acc_ = fnv1a64(reinterpret_cast<const std::uint8_t*>(&h), sizeof h, acc_);
+    history_.push_back(h);
+  }
+
+  [[nodiscard]] Bytes snapshot() const override {
+    Writer w(ByteOrder::kBig);
+    w.u64(acc_);
+    w.u32(static_cast<std::uint32_t>(history_.size()));
+    for (std::uint64_t h : history_) w.u64(h);
+    return std::move(w).take();
+  }
+
+  void restore(BytesView snapshot) override {
+    Reader r(snapshot, ByteOrder::kBig);
+    acc_ = r.u64();
+    history_.clear();
+    const std::uint32_t n = r.u32();
+    history_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) history_.push_back(r.u64());
+  }
+
+  [[nodiscard]] std::uint64_t accumulator() const { return acc_; }
+  [[nodiscard]] std::size_t applied() const { return history_.size(); }
+
+ private:
+  std::uint64_t acc_ = 0xcbf29ce484222325ull;
+  std::vector<std::uint64_t> history_;
+};
+
 class Engine {
  public:
   explicit Engine(const CampaignConfig& cfg)
@@ -498,6 +572,8 @@ class Engine {
   struct Proc {
     std::unique_ptr<ft::PersistentLog> plog;
     std::vector<ft::LogEntry> shadow;  ///< what we appended this incarnation
+    std::unique_ptr<ToyState> app;     ///< application state (checkpointable)
+    std::unique_ptr<ft::StateTransferManager> st;
     std::uint32_t incarnation = 0;
     bool alive = true;
   };
@@ -538,6 +614,8 @@ class Engine {
   [[nodiscard]] std::size_t live_count() const;
   std::string log_path(ProcessorId p, std::uint32_t incarnation) const;
   void open_log(ProcessorId p);
+  void make_app(ProcessorId p);
+  void absorb_transfer_stats(Proc& proc);
   void trace_line(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
   void record_reset(TimePoint t, ProcessorId p);
   void flag_online(InvariantKind kind, TimePoint at, ProcessorId p,
@@ -602,6 +680,35 @@ void Engine::open_log(ProcessorId p) {
   proc.shadow.clear();
 }
 
+void Engine::absorb_transfer_stats(Proc& proc) {
+  if (!proc.st) return;
+  const ft::StateTransferStats& s = proc.st->stats();
+  result_.state_transfers += s.transfers_completed;
+  result_.state_resumes += s.transfers_resumed;
+  result_.state_restarts += s.transfers_restarted;
+  result_.state_digest_mismatches += s.digest_mismatches;
+}
+
+void Engine::make_app(ProcessorId p) {
+  // A fresh application incarnation: restart and drop+rejoin both abandon
+  // volatile app state (the fork is unrecoverable); the new manager pulls
+  // everything back through state transfer at the re-admitting install.
+  Proc& proc = procs_.at(p);
+  absorb_transfer_stats(proc);
+  proc.app = std::make_unique<ToyState>();
+  ToyState* app = proc.app.get();
+  proc.st = std::make_unique<ft::StateTransferManager>(
+      p, kGroup, h_.stack(p), stack_config(), *app,
+      [app](TimePoint, const DeliveredMessage& m) { app->apply(m); });
+  proc.st->set_digest_hook([this, p](TimePoint t, std::uint64_t fp,
+                                     std::uint64_t dg) {
+    StateDigestRecord rec{t, p.raw(), kGroup.raw(), fp, dg};
+    checker_.on_state_digest(rec);
+    trace_line("S %lld %u %u %llx %llx\n", (long long)t, rec.proc, rec.group,
+               (unsigned long long)fp, (unsigned long long)dg);
+  });
+}
+
 void Engine::trace_line(const char* fmt, ...) {
   if (!trace_) return;
   va_list args;
@@ -629,7 +736,7 @@ void Engine::setup() {
   if (!cfg_.trace_path.empty()) {
     trace_ = std::fopen(cfg_.trace_path.c_str(), "w");
     if (!trace_) throw std::runtime_error("cannot open trace file " + cfg_.trace_path);
-    std::fprintf(trace_, "# chaos-trace v1 seed=%llu\n",
+    std::fprintf(trace_, "# chaos-trace v2 seed=%llu\n",
                  (unsigned long long)cfg_.seed);
   }
   // Gauge balance is checked against a clean slate (process-global
@@ -645,6 +752,7 @@ void Engine::setup() {
     h_.add_processor(p, kDomain, kDomainAddr, stack_config());
     procs_.emplace(p, Proc{});
     open_log(p);
+    make_app(p);
     in_group_.insert(p);
     h_.set_event_handler(
         p, [this, p](TimePoint t, const Event& ev) { on_event(p, t, ev); });
@@ -682,6 +790,8 @@ void Engine::on_event(ProcessorId p, TimePoint t, const Event& ev) {
     proc.plog->flush();
     proc.shadow.push_back(std::move(entry));
     if (probe_base_ && d->request_num >= probe_base_) probe_seen_[p] += 1;
+    if (proc.st) proc.st->on_event(t, ev);
+    return;
   } else if (const auto* m = std::get_if<MembershipChanged>(&ev)) {
     ViewRecord rec;
     rec.at = t;
@@ -705,6 +815,10 @@ void Engine::on_event(ProcessorId p, TimePoint t, const Event& ev) {
                  (unsigned long long)rec.view_ts, members.c_str());
     }
   }
+  // Everything else (installs, state-transfer frames, self-eviction) feeds
+  // the state-transfer manager; Regular deliveries returned above.
+  Proc& proc = procs_.at(p);
+  if (proc.st) proc.st->on_event(t, ev);
 }
 
 void Engine::on_wire(TimePoint t, const net::Datagram& d) {
@@ -858,6 +972,12 @@ void Engine::apply_network_faults(TimePoint t) {
 void Engine::on_step(TimePoint t) {
   result_.checker_steps += 1;
   apply_network_faults(t);
+
+  // State-transfer timers: request retry/resume, snapshot TTL, periodic
+  // anti-entropy digests.
+  for (auto& [p, proc] : procs_) {
+    if (proc.alive && proc.st) proc.st->tick(t);
+  }
 
   if (cfg_.verbose && t >= next_state_dump_) {
     next_state_dump_ = t + 500 * kMillisecond;
@@ -1020,6 +1140,7 @@ void Engine::process_crash_restarts() {
       proc.alive = true;
       proc.incarnation += 1;
       open_log(victim);
+      make_app(victim);  // rebind to the fresh Stack; app state starts empty
       result_.restarts += 1;
       record_reset(now, victim);
       in_group_.erase(victim);
@@ -1046,6 +1167,7 @@ void Engine::heal_stranded() {
       in_group_.erase(p);
       h_.stack(p).drop_group(kGroup);
       record_reset(h_.now(), p);
+      make_app(p);  // forked app state is abandoned with the session
       h_.stack(p).expect_join(kGroup, kGroupAddr);
       pending_join_.insert(p);
       if (cfg_.verbose) {
@@ -1086,6 +1208,7 @@ void Engine::heal_stranded() {
       in_group_.erase(p);
       h_.stack(p).drop_group(kGroup);
       record_reset(h_.now(), p);
+      make_app(p);  // stale-minority app state is abandoned too
       h_.stack(p).expect_join(kGroup, kGroupAddr);
       pending_join_.insert(p);
       if (cfg_.verbose) {
@@ -1199,6 +1322,57 @@ bool Engine::quiesce_and_probe() {
       agree = agree && g && g->active() && g->membership().members == want;
     }
   }
+  if (!agree) return false;
+
+  // State convergence: every member finishes its catch-up (a transfer may
+  // still be streaming from the last rejoin), then the whole fleet must sit
+  // at one common (fingerprint, digest) — and the application accumulators
+  // must agree with each other too.
+  const bool caught_up = h_.run_until_pred(
+      [&] {
+        for (ProcessorId p : in_group_) {
+          const Proc& proc = procs_.at(p);
+          if (!proc.st || !proc.st->caught_up()) return false;
+        }
+        return true;
+      },
+      h_.now() + 15 * kSecond);
+  result_.state_converged = caught_up;
+  if (caught_up) {
+    const Proc& first = procs_.at(*in_group_.begin());
+    const std::uint64_t want_fp = first.st->fingerprint();
+    const std::uint64_t want_digest = first.st->digest();
+    const std::uint64_t want_acc = first.app->accumulator();
+    for (ProcessorId p : in_group_) {
+      const Proc& proc = procs_.at(p);
+      const bool same = proc.st->fingerprint() == want_fp &&
+                        proc.st->digest() == want_digest &&
+                        proc.app->accumulator() == want_acc;
+      if (!same) {
+        result_.state_converged = false;
+        if (cfg_.verbose) {
+          std::printf("  !! %s state diverged: fp=%llx digest=%llx acc=%llx "
+                      "(expected %llx/%llx/%llx)\n",
+                      to_string(p).c_str(),
+                      (unsigned long long)proc.st->fingerprint(),
+                      (unsigned long long)proc.st->digest(),
+                      (unsigned long long)proc.app->accumulator(),
+                      (unsigned long long)want_fp,
+                      (unsigned long long)want_digest,
+                      (unsigned long long)want_acc);
+        }
+      }
+    }
+  } else if (cfg_.verbose) {
+    std::printf("  [%8.0fms] quiesce: state transfer did not complete on every "
+                "member\n", ms(h_.now()));
+  }
+  // Pin one final digest broadcast per member into the trace so the offline
+  // replay checks convergence at the same cut the engine did.
+  for (ProcessorId p : in_group_) {
+    Proc& proc = procs_.at(p);
+    if (proc.alive && proc.st) proc.st->publish_digest(h_.now());
+  }
   return agree;
 }
 
@@ -1234,6 +1408,7 @@ CampaignResult Engine::run() {
 
   result_.converged = quiesce_and_probe();
   result_.schedule = sched_;
+  for (auto& [p, proc] : procs_) absorb_transfer_stats(proc);
   checker_.finalize();
   for (const Violation& v : checker_.violations()) {
     if (result_.violations.size() < kMaxViolations) result_.violations.push_back(v);
@@ -1271,12 +1446,18 @@ TraceReplay replay_trace_file(const std::string& path) {
     return out;
   }
   std::string line;
-  if (!std::getline(in, line) ||
-      line.rfind("# chaos-trace v1 seed=", 0) != 0) {
-    out.parse_error = "not a chaos-trace v1 file (bad header)";
+  std::getline(in, line);
+  // v1 traces predate state transfer (no S records); v2 adds them. Both
+  // replay with the same checker.
+  if (line.rfind("# chaos-trace v1 seed=", 0) == 0) {
+    out.version = 1;
+  } else if (line.rfind("# chaos-trace v2 seed=", 0) == 0) {
+    out.version = 2;
+  } else {
+    out.parse_error = "not a chaos-trace v1/v2 file (bad header)";
     return out;
   }
-  out.seed = std::strtoull(line.c_str() + std::strlen("# chaos-trace v1 seed="),
+  out.seed = std::strtoull(line.c_str() + std::strlen("# chaos-trace vN seed="),
                            nullptr, 10);
   out.parsed = true;
 
@@ -1329,6 +1510,20 @@ TraceReplay replay_trace_file(const std::string& path) {
           return out;
         }
         checker.on_reset(proc);
+        out.records += 1;
+        break;
+      }
+      case 'S': {
+        StateDigestRecord s;
+        long long at = 0;
+        if (!(fields >> at >> s.proc >> s.group >> std::hex >> s.fingerprint >>
+              s.digest)) {
+          out.parse_error = "malformed S record at line " + std::to_string(lineno);
+          out.parsed = false;
+          return out;
+        }
+        s.at = at;
+        checker.on_state_digest(s);
         out.records += 1;
         break;
       }

@@ -4,7 +4,7 @@
 // declarative fault schedule (correlated loss bursts, asymmetric one-way
 // partitions, symmetric partitions, membership flapping, delay storms,
 // slow links, crash-restart), the schedule is applied to a SimHarness
-// fleet step by step, and six invariant checkers run continuously:
+// fleet step by step, and seven invariant checkers run continuously:
 //
 //   1. total order     — every member delivers a prefix-consistent view of
 //                        one committed ledger per group;
@@ -19,9 +19,13 @@
 //   5. primary rule    — two concurrently active memberships of one group
 //                        always intersect (no split brain);
 //   6. flow balance    — flow windows/queues respect their configured
-//                        bounds and no process-wide gauge goes negative.
+//                        bounds and no process-wide gauge goes negative;
+//   7. state convergence — after every heal, members' rolling state digests
+//                        (ft::StateTransferManager anti-entropy) agree at
+//                        equal fingerprints, and the quiesced fleet ends at
+//                        one common (fingerprint, digest).
 //
-// Checkers 1–3 are replayable offline from a recorded campaign trace
+// Checkers 1–3 and 7 are replayable offline from a recorded campaign trace
 // (`ftmp_inspect --invariants`); 4–6 need the live wire/sessions and run
 // online only. On violation the campaign reports the seed, the schedule,
 // and the offending step so one command reproduces the run bit-for-bit.
@@ -121,6 +125,7 @@ enum class InvariantKind : std::uint8_t {
   kRetransmitIdentity,
   kPrimaryExclusivity,
   kFlowBalance,
+  kStateConvergence,  ///< equal state fingerprints must carry equal digests
 };
 
 [[nodiscard]] const char* to_string(InvariantKind k);
@@ -153,6 +158,18 @@ struct ViewRecord {
   std::vector<std::uint32_t> members;
 };
 
+/// A state-digest broadcast as recorded in a campaign trace (`S` record,
+/// chaos-trace v2): the fingerprint identifies the member's applied
+/// position, the digest its order-sensitive rolling state hash
+/// (ft::StateTransferManager, docs/RECOVERY.md).
+struct StateDigestRecord {
+  TimePoint at = 0;
+  std::uint32_t proc = 0;
+  std::uint32_t group = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t digest = 0;
+};
+
 /// The replayable invariant core: total order, view agreement, no
 /// duplicate/skipped delivery. Fed online by the campaign engine and
 /// offline by the trace replayer — identical verdicts either way.
@@ -178,10 +195,16 @@ class InvariantChecker {
  public:
   void on_delivery(const DeliveryRecord& d);
   void on_view(const ViewRecord& v);
+  /// Records a member's state-digest broadcast. Digests of forked members
+  /// (abandoned-minority tails) are ignored until their reset, like their
+  /// deliveries.
+  void on_state_digest(const StateDigestRecord& s);
   /// Starts a new incarnation of `proc` (restart or drop+rejoin).
   void on_reset(std::uint32_t proc);
   /// End of the observation window: order conflicts still parked waiting
-  /// for a view install that never came become violations. Call once,
+  /// for a view install that never came become violations, and the final
+  /// state digests are checked for convergence (two members whose last
+  /// broadcasts share a fingerprint must share the digest). Call once,
   /// after the last record.
   void finalize();
 
@@ -238,6 +261,10 @@ class InvariantChecker {
   // record. Conflicts still parked at finalize()/reset are violations.
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<DeliveryRecord>>
       pending_;
+  // (group, proc) -> the member's most recent state-digest broadcast;
+  // checked for pairwise convergence at finalize().
+  std::map<std::pair<std::uint32_t, std::uint32_t>, StateDigestRecord>
+      last_digest_;
   std::vector<Violation> violations_;
   std::uint64_t deliveries_ = 0;
 };
@@ -275,11 +302,19 @@ struct CampaignResult {
   std::uint64_t restarts = 0;
   std::uint64_t rejoins = 0;
   std::uint64_t checker_steps = 0;
+  /// State-transfer traffic across the fleet (ft::StateTransferManager).
+  std::uint64_t state_transfers = 0;       ///< catch-ups completed
+  std::uint64_t state_resumes = 0;         ///< donor-crash mid-transfer resumes
+  std::uint64_t state_restarts = 0;        ///< transfers re-anchored at a newer cut
+  std::uint64_t state_digest_mismatches = 0;  ///< anti-entropy alarms observed
   bool converged = false;  ///< fleet reached one common membership at the end
   bool log_replay_ok = true;  ///< every restart reloaded its pre-crash log
+  /// Every member ended caught up, at one common state fingerprint AND one
+  /// common rolling digest (post-heal anti-entropy convergence).
+  bool state_converged = false;
 
   [[nodiscard]] bool ok() const {
-    return violations.empty() && converged && log_replay_ok;
+    return violations.empty() && converged && log_replay_ok && state_converged;
   }
 };
 
@@ -292,15 +327,17 @@ struct CampaignResult {
 
 /// Result of replaying a recorded campaign trace offline.
 struct TraceReplay {
-  bool parsed = false;        ///< header was valid chaos-trace v1
+  bool parsed = false;        ///< header was a valid chaos-trace v1/v2
   std::string parse_error;
+  std::uint32_t version = 0;  ///< trace format version from the header
   std::uint64_t seed = 0;     ///< seed recorded in the trace header
-  std::uint64_t records = 0;  ///< D/V/R records replayed
+  std::uint64_t records = 0;  ///< D/V/R/S records replayed
   std::vector<Violation> violations;
 };
 
-/// Re-runs the replayable checkers (total order, view agreement, dup/skip)
-/// over a trace file written by run_campaign.
+/// Re-runs the replayable checkers (total order, view agreement, dup/skip,
+/// state-digest convergence) over a trace file written by run_campaign.
+/// Accepts both v1 traces (no S records) and v2 traces.
 [[nodiscard]] TraceReplay replay_trace_file(const std::string& path);
 
 }  // namespace ftcorba::ftmp::chaos

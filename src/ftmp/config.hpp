@@ -117,6 +117,41 @@ struct Config {
   /// sim harness and UDP driver both drain at least once per tick).
   std::uint64_t batch_flush_us = 500;
 
+  // ---- RMP retransmission-request backoff (docs/RECOVERY.md) ----
+
+  /// Jittered exponential backoff for repeated RetransmitRequests about the
+  /// same gap: the spacing starts at nack_interval and doubles per repeat
+  /// up to this cap, with deterministic per-(requester, source) jitter —
+  /// capping the NACK storm when a rejoiner discovers a large gap. Any
+  /// delivery progress from the source resets the spacing to nack_interval.
+  /// 0 disables backoff entirely (default — fixed nack_interval spacing).
+  Duration nack_backoff_max = 0;
+
+  // ---- state transfer (docs/RECOVERY.md) ----
+
+  /// Snapshot bytes per StateChunk. Chunks are idempotent by
+  /// (view_ts, chunk_seq), so a resumed transfer re-streams only what the
+  /// joiner still misses.
+  std::size_t state_chunk_bytes = 8192;
+
+  /// Request-driven flow control: the donor answers one StateRequest with
+  /// at most this many chunks; the joiner's next cumulative request clocks
+  /// the next window.
+  std::size_t state_window_chunks = 4;
+
+  /// Joiner side: spacing between StateRequests while a transfer is
+  /// outstanding (also the retry/resume cadence after donor silence).
+  Duration state_request_interval = 20 * kMillisecond;
+
+  /// Donor side: a retained snapshot whose joiner has gone silent for this
+  /// long is discarded (the joiner re-anchors at a newer view anyway).
+  Duration state_snapshot_ttl = 2 * kSecond;
+
+  /// Anti-entropy cadence: members multicast a StateDigest this often while
+  /// idle (one is always sent right after an install). 0 disables periodic
+  /// digests (install-triggered digests still flow).
+  Duration state_digest_interval = 500 * kMillisecond;
+
   /// Slow-receiver policy thresholds, in timestamp ticks of stability lag
   /// (how far a member's ack timestamp trails the group maximum). Past
   /// flow_lag_warn the member is warned about (trace + metrics); past

@@ -42,6 +42,12 @@ struct MembershipChanged {
   MembershipInfo membership;       ///< The newly installed membership.
   std::vector<ProcessorId> joined; ///< Members present now but not before.
   std::vector<ProcessorId> left;   ///< Members present before but not now.
+  /// Per-source delivered-sequence high-water marks at the install point —
+  /// the virtual-synchrony cut, expressed in sequence numbers rather than
+  /// timestamps (a recovery install's view timestamp can exceed timestamps
+  /// of messages ordered after the cut). State transfer anchors snapshot
+  /// cuts here (docs/RECOVERY.md).
+  std::vector<SourceSeq> cut_seqs;
 };
 
 /// A fault report (§7.2): `convicted` was removed from `group` because
@@ -74,8 +80,20 @@ struct ConnectionRequested {
   std::vector<ProcessorId> client_processors;
 };
 
+/// A state-transfer control message (StateRequest / StateChunk /
+/// StateDigest) delivered on the reliable source-ordered path — like
+/// Suspect/Membership, these are reliable but not totally ordered. The
+/// ft::StateTransferManager consumes them (docs/RECOVERY.md).
+struct StateMessage {
+  ProcessorGroupId group{};
+  ProcessorId source{};
+  Timestamp timestamp = 0;
+  Body body;  ///< One of StateRequestBody / StateChunkBody / StateDigestBody.
+};
+
 /// Any upward event.
 using Event = std::variant<DeliveredMessage, MembershipChanged, FaultReport,
-                           SelfEvicted, ConnectionEstablished, ConnectionRequested>;
+                           SelfEvicted, ConnectionEstablished, ConnectionRequested,
+                           StateMessage>;
 
 }  // namespace ftcorba::ftmp

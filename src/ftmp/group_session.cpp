@@ -231,6 +231,13 @@ std::optional<SeqNum> GroupSession::send_connect(TimePoint now, ConnectBody body
   return h.sequence_number;
 }
 
+bool GroupSession::send_state(TimePoint now, Body body) {
+  if (!active()) return false;
+  send_message(now, std::move(body), group_addr_);
+  pump(now);
+  return true;
+}
+
 bool GroupSession::add_processor(TimePoint now, ProcessorId new_member) {
   if (flushing()) return false;
   auto body = pgmp_.make_add(new_member);
@@ -331,7 +338,21 @@ void GroupSession::route_source_ordered(TimePoint now, const Frame& frame) {
   // Suspect and Membership are "Reliable: yes, Totally Ordered: no"
   // (Fig. 3): they reach PGMP straight from the source-ordered stream.
   // Their bodies are decoded here — membership changes are the cold path.
+  // State-transfer messages take the same reliable source-ordered path but
+  // surface as StateMessage events for the ft::StateTransferManager.
   const MessageType type = frame.header.type;
+  if (type == MessageType::kStateRequest || type == MessageType::kStateChunk ||
+      type == MessageType::kStateDigest) {
+    auto body = decode_body_checked(frame);
+    if (!body) return;
+    StateMessage ev;
+    ev.group = group_;
+    ev.source = frame.header.source;
+    ev.timestamp = frame.header.message_timestamp;
+    ev.body = std::move(*body);
+    outbox_.events.emplace_back(std::move(ev));
+    return;
+  }
   if (type != MessageType::kSuspect && type != MessageType::kMembership) return;
   auto body = decode_body_checked(frame);
   if (!body) return;
@@ -376,6 +397,7 @@ void GroupSession::deliver_ordered(TimePoint now, const Frame& frame) {
       } else {
         ev.giop_message = std::move(giop);
       }
+      delivered_hw_[ev.source.raw()] = ev.seq;
       outbox_.events.emplace_back(std::move(ev));
       break;
     }
@@ -447,6 +469,21 @@ void GroupSession::emit_install(TimePoint now, InstallOut&& install) {
   for (ProcessorId gone : install.change.left) {
     reassembler_.forget(gone);
     flow_.forget_member(gone);
+    delivered_hw_.erase(gone.raw());
+  }
+  // A (re-)joined member's stream rebases (fresh incarnation restarts at
+  // seq 1), so its high-water mark must not carry over across the install.
+  for (ProcessorId fresh : install.change.joined) {
+    delivered_hw_.erase(fresh.raw());
+  }
+  // Stamp the virtual-synchrony cut: per-source delivered-seq high-water
+  // marks at this install point (docs/RECOVERY.md). Every surviving member
+  // computes identical values — the install is a common cut.
+  install.change.cut_seqs.clear();
+  for (ProcessorId p : install.change.membership.members) {
+    auto it = delivered_hw_.find(p.raw());
+    install.change.cut_seqs.push_back(
+        SourceSeq{p, it == delivered_hw_.end() ? 0 : it->second});
   }
   for (FaultReport& f : install.faults) {
     f.group = group_;

@@ -7,6 +7,7 @@
 // appended to the shared Outbox owned by the Stack.
 #pragma once
 
+#include <map>
 #include <optional>
 
 #include "common/bytes.hpp"
@@ -109,6 +110,12 @@ class GroupSession {
   /// "until it has received from every member of the processor group a
   /// message with a higher timestamp than the timestamp of the Connect").
   [[nodiscard]] bool flushing() const { return flush_ts_.has_value(); }
+
+  /// Multicasts a state-transfer body (StateRequest / StateChunk /
+  /// StateDigest) on the reliable source-ordered path — like Suspect, these
+  /// are reliable but not totally ordered (docs/RECOVERY.md). Returns false
+  /// while inactive.
+  bool send_state(TimePoint now, Body body);
 
   /// Starts adding a processor (sponsor side). False if rejected (already
   /// a member, join pending, or a recovery is running).
@@ -231,6 +238,11 @@ class GroupSession {
   // Cached encoded Heartbeat (constant fields encoded once; seq/timestamps
   // patched in place per send — see send_heartbeat).
   Bytes heartbeat_template_;
+
+  // Per-source sequence number of the most recent delivered (event-
+  // producing) Regular — the virtual-synchrony cut coordinates stamped
+  // into MembershipChanged::cut_seqs at each install.
+  std::map<std::uint32_t, SeqNum> delivered_hw_;
 
   // When this member was evicted (lame-duck bookkeeping).
   std::optional<TimePoint> deactivated_at_;

@@ -106,6 +106,25 @@ struct BodyEncoder {
     put_source_seqs(w, b.current_seqs);
     put_processors(w, b.new_membership);
   }
+  void operator()(const StateRequestBody& b) {
+    w.u32(b.joiner.raw());
+    w.u64(b.view_ts);
+    w.u32(b.next_chunk);
+  }
+  void operator()(const StateChunkBody& b) {
+    w.u32(b.joiner.raw());
+    w.u64(b.view_ts);
+    w.u32(b.chunk_seq);
+    w.u32(b.total_chunks);
+    w.u64(b.snapshot_digest);
+    w.u64(b.cut_digest);
+    put_source_seqs(w, b.cut_seqs);
+    w.blob(b.payload);
+  }
+  void operator()(const StateDigestBody& b) {
+    w.u64(b.fingerprint);
+    w.u64(b.digest);
+  }
 };
 
 [[nodiscard]] Body decode_body(MessageType type, Reader& r) {
@@ -168,6 +187,33 @@ struct BodyEncoder {
       b.new_membership = get_processors(r);
       return b;
     }
+    case MessageType::kStateRequest: {
+      StateRequestBody b;
+      b.joiner = ProcessorId{r.u32()};
+      b.view_ts = static_cast<Timestamp>(r.u64());
+      b.next_chunk = r.u32();
+      return b;
+    }
+    case MessageType::kStateChunk: {
+      StateChunkBody b;
+      b.joiner = ProcessorId{r.u32()};
+      b.view_ts = static_cast<Timestamp>(r.u64());
+      b.chunk_seq = r.u32();
+      b.total_chunks = r.u32();
+      if (b.total_chunks == 0) throw CodecError("state chunk with zero total");
+      if (b.chunk_seq >= b.total_chunks) throw CodecError("state chunk seq out of range");
+      b.snapshot_digest = r.u64();
+      b.cut_digest = r.u64();
+      b.cut_seqs = get_source_seqs(r);
+      b.payload = r.blob();
+      return b;
+    }
+    case MessageType::kStateDigest: {
+      StateDigestBody b;
+      b.fingerprint = r.u64();
+      b.digest = r.u64();
+      return b;
+    }
   }
   throw CodecError("unknown message type");
 }
@@ -186,7 +232,10 @@ MessageType type_of(const Body& body) {
         else if constexpr (std::is_same_v<T, AddProcessorBody>) return MessageType::kAddProcessor;
         else if constexpr (std::is_same_v<T, RemoveProcessorBody>) return MessageType::kRemoveProcessor;
         else if constexpr (std::is_same_v<T, SuspectBody>) return MessageType::kSuspect;
-        else return MessageType::kMembership;
+        else if constexpr (std::is_same_v<T, MembershipBody>) return MessageType::kMembership;
+        else if constexpr (std::is_same_v<T, StateRequestBody>) return MessageType::kStateRequest;
+        else if constexpr (std::is_same_v<T, StateChunkBody>) return MessageType::kStateChunk;
+        else return MessageType::kStateDigest;
       },
       body);
 }

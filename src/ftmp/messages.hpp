@@ -126,10 +126,63 @@ struct MembershipBody {
   friend bool operator==(const MembershipBody&, const MembershipBody&) = default;
 };
 
+/// StateRequest (docs/RECOVERY.md): the joiner asks the current donor for
+/// the snapshot chunks starting at `next_chunk`. Doubles as the cumulative
+/// acknowledgment (everything below `next_chunk` was received) and as the
+/// resume offset after a donor crash — the re-elected donor continues from
+/// exactly here.
+struct StateRequestBody {
+  /// The catching-up member this transfer serves.
+  ProcessorId joiner{};
+  /// Install timestamp of the view that admitted the joiner; anchors the
+  /// snapshot cut. A request for a stale view_ts is ignored.
+  Timestamp view_ts = 0;
+  /// First chunk the joiner still needs (cumulative ack / resume offset).
+  std::uint32_t next_chunk = 0;
+
+  friend bool operator==(const StateRequestBody&, const StateRequestBody&) = default;
+};
+
+/// StateChunk (docs/RECOVERY.md): one chunk of the snapshot taken at the
+/// virtual-synchrony cut `view_ts`. Chunks are idempotent by
+/// (view_ts, chunk_seq); every chunk repeats the transfer metadata so the
+/// joiner can finish from any subset arriving in any order.
+struct StateChunkBody {
+  ProcessorId joiner{};
+  Timestamp view_ts = 0;
+  std::uint32_t chunk_seq = 0;
+  std::uint32_t total_chunks = 0;
+  /// FNV-1a/64 over the complete snapshot — verified before installing.
+  std::uint64_t snapshot_digest = 0;
+  /// The donor's rolling delivery digest at the cut; the joiner adopts it
+  /// so post-transfer digests are comparable across members.
+  std::uint64_t cut_digest = 0;
+  /// Per-source applied-Regular sequence high-water marks at the cut; the
+  /// joiner replays only buffered messages above these.
+  std::vector<SourceSeq> cut_seqs;
+  /// This chunk's slice of the snapshot bytes.
+  Bytes payload;
+
+  friend bool operator==(const StateChunkBody&, const StateChunkBody&) = default;
+};
+
+/// StateDigest (docs/RECOVERY.md): anti-entropy check emitted after installs
+/// and periodically — members at the same `fingerprint` (cut position) must
+/// report the same rolling `digest`, or the group diverged.
+struct StateDigestBody {
+  /// Position identifier: hash over the sorted (source, high-water) pairs.
+  std::uint64_t fingerprint = 0;
+  /// Rolling order-sensitive digest of every applied message.
+  std::uint64_t digest = 0;
+
+  friend bool operator==(const StateDigestBody&, const StateDigestBody&) = default;
+};
+
 /// Any FTMP message body.
 using Body = std::variant<RegularBody, RetransmitRequestBody, HeartbeatBody,
                           ConnectRequestBody, ConnectBody, AddProcessorBody,
-                          RemoveProcessorBody, SuspectBody, MembershipBody>;
+                          RemoveProcessorBody, SuspectBody, MembershipBody,
+                          StateRequestBody, StateChunkBody, StateDigestBody>;
 
 /// A complete FTMP message: header + typed body.
 struct Message {

@@ -26,6 +26,9 @@ bool is_reliable(MessageType t) {
     case MessageType::kRemoveProcessor:
     case MessageType::kSuspect:
     case MessageType::kMembership:
+    case MessageType::kStateRequest:
+    case MessageType::kStateChunk:
+    case MessageType::kStateDigest:
       return true;
     default:
       return false;

@@ -129,6 +129,14 @@ SendStatus Stack::try_send(TimePoint now, const ConnectionId& connection,
   return status;
 }
 
+bool Stack::send_state(TimePoint now, ProcessorGroupId group, Body body) {
+  GroupSession* s = this->group(group);
+  if (!s) return false;
+  const bool sent = s->send_state(now, std::move(body));
+  observe_events(now);
+  return sent;
+}
+
 bool Stack::connection_congested(const ConnectionId& connection) const {
   const auto g = connection_group(connection);
   if (!g) return false;

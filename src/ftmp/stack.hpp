@@ -138,6 +138,11 @@ class Stack {
   SendStatus try_send(TimePoint now, const ConnectionId& connection,
                       RequestNum request_num, BytesView giop);
 
+  /// Multicasts a state-transfer body (StateRequest / StateChunk /
+  /// StateDigest, docs/RECOVERY.md) on `group`'s reliable source-ordered
+  /// path. Returns false if the group has no active session here.
+  bool send_state(TimePoint now, ProcessorGroupId group, Body body);
+
   /// Installs a queue-watermark listener on every current and future group
   /// session of this stack (nullptr clears).
   void set_flow_listener(FlowListener* listener);

@@ -21,7 +21,8 @@
 
 namespace ftcorba::ftmp {
 
-/// The nine FTMP message types (Fig. 3).
+/// The nine FTMP message types (Fig. 3), plus the state-transfer extension
+/// types (docs/RECOVERY.md) used for post-heal reconciliation.
 enum class MessageType : std::uint8_t {
   kRegular = 1,           ///< Carries an encapsulated GIOP message.
   kRetransmitRequest = 2, ///< Negative acknowledgment (RMP).
@@ -32,6 +33,9 @@ enum class MessageType : std::uint8_t {
   kRemoveProcessor = 7,   ///< Removes a non-faulty processor (PGMP).
   kSuspect = 8,           ///< Declares suspicion of faulty processors (PGMP).
   kMembership = 9,        ///< Proposes a membership excluding convicted processors.
+  kStateRequest = 10,     ///< Joiner asks the donor for snapshot chunks (state transfer).
+  kStateChunk = 11,       ///< One snapshot chunk from the donor (state transfer).
+  kStateDigest = 12,      ///< Rolling state digest for anti-entropy convergence checks.
 };
 
 /// Human-readable message-type name (used by logs and the Fig. 3 bench).

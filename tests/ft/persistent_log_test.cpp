@@ -115,6 +115,61 @@ TEST(PersistentLog, CorruptRecordStopsLoad) {
   EXPECT_EQ(loaded[0].giop_message, bytes_of("good"));
 }
 
+TEST(PersistentLog, TornTailTruncatedOnReopenThenAppendsLoad) {
+  TempFile tmp;
+  {
+    PersistentLog log(tmp.path);
+    log.append(entry(1, "intact"));
+    log.append(entry(2, "torn"));
+  }
+  const auto size = std::filesystem::file_size(tmp.path);
+  std::filesystem::resize_file(tmp.path, size - 3);
+
+  const auto scan = PersistentLog::scan(tmp.path);
+  EXPECT_FALSE(scan.clean());
+  ASSERT_EQ(scan.entries.size(), 1u);
+  EXPECT_GT(scan.discarded_bytes, 0u);
+
+  // Reopen must cut the tear away; without that, this append would sit
+  // behind the torn bytes and load() could never reach it.
+  {
+    PersistentLog log(tmp.path);
+    EXPECT_EQ(log.recovered_bytes_discarded(), scan.discarded_bytes);
+    log.append(entry(3, "after-recovery"));
+  }
+  const auto loaded = PersistentLog::load(tmp.path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].giop_message, bytes_of("intact"));
+  EXPECT_EQ(loaded[1].giop_message, bytes_of("after-recovery"));
+  EXPECT_TRUE(PersistentLog::scan(tmp.path).clean());
+}
+
+TEST(PersistentLog, CorruptTailTruncatedOnReopen) {
+  TempFile tmp;
+  {
+    PersistentLog log(tmp.path);
+    log.append(entry(1, "keep"));
+    log.append(entry(2, "rot"));
+  }
+  // Flip a byte inside the LAST record (stay clear of the first): reopen
+  // treats a corrupt tail exactly like a torn one.
+  std::FILE* f = std::fopen(tmp.path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -2, SEEK_END);
+  std::fputc('X', f);
+  std::fclose(f);
+
+  {
+    PersistentLog log(tmp.path);
+    EXPECT_GT(log.recovered_bytes_discarded(), 0u);
+    log.append(entry(3, "fresh"));
+  }
+  const auto loaded = PersistentLog::load(tmp.path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].giop_message, bytes_of("keep"));
+  EXPECT_EQ(loaded[1].giop_message, bytes_of("fresh"));
+}
+
 TEST(PersistentLog, MissingFileLoadsEmpty) {
   EXPECT_TRUE(PersistentLog::load("/nonexistent/ftmp/log").empty());
 }

@@ -1,5 +1,6 @@
-// Unit tests for the nine FTMP message body codecs (§5–§7), including a
-// parameterized round-trip sweep over both byte orders.
+// Unit tests for the twelve FTMP message body codecs (§5–§7 plus the
+// state-transfer frames of docs/RECOVERY.md), including a parameterized
+// round-trip sweep over both byte orders.
 #include <gtest/gtest.h>
 
 #include "ftmp/messages.hpp"
@@ -56,6 +57,22 @@ std::vector<Message> sample_messages(ByteOrder order) {
                  MembershipBody{sample_membership(),
                                 {{ProcessorId{1}, 5}, {ProcessorId{2}, 7}, {ProcessorId{5}, 0}},
                                 {ProcessorId{1}, ProcessorId{2}}}});
+  out.push_back({header_for(MessageType::kStateRequest, order),
+                 StateRequestBody{ProcessorId{6}, 901, 17}});
+  {
+    StateChunkBody b;
+    b.joiner = ProcessorId{6};
+    b.view_ts = 901;
+    b.chunk_seq = 3;
+    b.total_chunks = 9;
+    b.snapshot_digest = 0x1122334455667788ull;
+    b.cut_digest = 0x99AABBCCDDEEFF00ull;
+    b.cut_seqs = {{ProcessorId{1}, 41}, {ProcessorId{2}, 7}};
+    b.payload = bytes_of("snapshot-slice");
+    out.push_back({header_for(MessageType::kStateChunk, order), b});
+  }
+  out.push_back({header_for(MessageType::kStateDigest, order),
+                 StateDigestBody{0xDEADBEEFCAFEF00Dull, 0x0123456789ABCDEFull}});
   return out;
 }
 

@@ -175,9 +175,10 @@ std::string repro_command(const Options& opt, std::uint64_t seed) {
 }
 
 void print_failure(const Options& opt, const chaos::CampaignResult& r) {
-  std::printf("!! seed %" PRIu64 " FAILED: %zu violation(s)%s%s\n", r.seed,
+  std::printf("!! seed %" PRIu64 " FAILED: %zu violation(s)%s%s%s\n", r.seed,
               r.violations.size(), r.converged ? "" : ", fleet did not reconverge",
-              r.log_replay_ok ? "" : ", crash-restart log replay mismatch");
+              r.log_replay_ok ? "" : ", crash-restart log replay mismatch",
+              r.state_converged ? "" : ", state digests did not converge");
   std::printf("%s", r.schedule.to_string().c_str());
   for (const chaos::Violation& v : r.violations) {
     std::printf("  [%8.0fms] %s at %s: %s\n", double(v.at) / kMillisecond,
@@ -242,11 +243,20 @@ int main(int argc, char** argv) {
     if (!r.ok()) {
       print_failure(opt, r);
     } else if (!opt.quiet) {
+      std::string transfer_detail;
+      if (r.state_resumes > 0) {
+        transfer_detail += " resumed=" + std::to_string(r.state_resumes);
+      }
+      if (r.state_restarts > 0) {
+        transfer_detail += " restarted=" + std::to_string(r.state_restarts);
+      }
       std::printf("seed %-6" PRIu64 " ok  digest=%016" PRIx64
                   "  sent=%" PRIu64 " delivered=%" PRIu64 " faults=%" PRIu64
-                  " crashes=%" PRIu64 " rejoins=%" PRIu64 "%s\n",
+                  " crashes=%" PRIu64 " rejoins=%" PRIu64 " transfers=%" PRIu64
+                  "%s%s\n",
                   r.seed, r.digest, r.messages_sent, r.deliveries,
-                  r.faults_applied, r.crashes, r.rejoins,
+                  r.faults_applied, r.crashes, r.rejoins, r.state_transfers,
+                  transfer_detail.c_str(),
                   deterministic && opt.repeat > 1 ? "  (deterministic)" : "");
     }
     results.push_back(std::move(r));
@@ -280,15 +290,21 @@ int main(int argc, char** argv) {
                    ", \"messages_sent\": %" PRIu64 ", \"deliveries\": %" PRIu64
                    ", \"crashes\": %" PRIu64 ", \"restarts\": %" PRIu64
                    ", \"rejoins\": %" PRIu64 ", \"converged\": %s"
-                   ", \"log_replay_ok\": %s, \"violations\": [%s]}%s\n",
+                   ", \"log_replay_ok\": %s, \"state_converged\": %s"
+                   ", \"state_transfers\": %" PRIu64 ", \"state_resumes\": %" PRIu64
+                   ", \"state_restarts\": %" PRIu64
+                   ", \"state_digest_mismatches\": %" PRIu64
+                   ", \"violations\": [%s]}%s\n",
                    r.seed, r.ok() ? "true" : "false", r.digest,
                    opt.params.processors,
                    std::uint64_t(opt.params.duration / kMillisecond),
                    r.schedule.faults.size(), r.faults_applied, r.messages_sent,
                    r.deliveries, r.crashes, r.restarts, r.rejoins,
                    r.converged ? "true" : "false",
-                   r.log_replay_ok ? "true" : "false", violations.c_str(),
-                   i + 1 < results.size() ? "," : "");
+                   r.log_replay_ok ? "true" : "false",
+                   r.state_converged ? "true" : "false", r.state_transfers,
+                   r.state_resumes, r.state_restarts, r.state_digest_mismatches,
+                   violations.c_str(), i + 1 < results.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
     std::fclose(out);

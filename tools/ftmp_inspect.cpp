@@ -177,6 +177,31 @@ int inspect_one(const Bytes& datagram) {
       std::printf("    received up to   %s: %llu\n", to_string(ss.processor).c_str(),
                   static_cast<unsigned long long>(ss.seq));
     }
+  } else if (const auto* sreq = std::get_if<ftmp::StateRequestBody>(&msg.body)) {
+    std::printf("    joiner           %s\n", to_string(sreq->joiner).c_str());
+    std::printf("    view ts          %llu\n",
+                static_cast<unsigned long long>(sreq->view_ts));
+    std::printf("    next chunk       %u  (cumulative ack / resume offset)\n",
+                sreq->next_chunk);
+  } else if (const auto* chunk = std::get_if<ftmp::StateChunkBody>(&msg.body)) {
+    std::printf("    joiner           %s\n", to_string(chunk->joiner).c_str());
+    std::printf("    view ts          %llu\n",
+                static_cast<unsigned long long>(chunk->view_ts));
+    std::printf("    chunk            %u/%u, %zu payload bytes\n",
+                chunk->chunk_seq + 1, chunk->total_chunks, chunk->payload.size());
+    std::printf("    snapshot digest  %016llx\n",
+                static_cast<unsigned long long>(chunk->snapshot_digest));
+    std::printf("    cut digest       %016llx\n",
+                static_cast<unsigned long long>(chunk->cut_digest));
+    for (const auto& ss : chunk->cut_seqs) {
+      std::printf("    cut              %s: %llu\n", to_string(ss.processor).c_str(),
+                  static_cast<unsigned long long>(ss.seq));
+    }
+  } else if (const auto* dig = std::get_if<ftmp::StateDigestBody>(&msg.body)) {
+    std::printf("    fingerprint      %016llx  (position: hashed applied watermarks)\n",
+                static_cast<unsigned long long>(dig->fingerprint));
+    std::printf("    rolling digest   %016llx\n",
+                static_cast<unsigned long long>(dig->digest));
   }
   return 0;
 }
@@ -223,8 +248,9 @@ int inspect(const Bytes& datagram) {
 
 /// Offline invariant replay of a chaos campaign trace (docs/CHAOS.md):
 /// re-runs the replayable checkers — total order, view agreement, no
-/// duplicate/skipped delivery — over the recorded D/V/R records, with the
-/// same verdicts the live campaign produced.
+/// duplicate/skipped delivery, state-digest convergence — over the
+/// recorded D/V/R/S records, with the same verdicts the live campaign
+/// produced.
 int replay_invariants(const std::string& path) {
   const ftmp::chaos::TraceReplay r = ftmp::chaos::replay_trace_file(path);
   if (!r.parsed) {
@@ -241,7 +267,8 @@ int replay_invariants(const std::string& path) {
                 v.detail.c_str());
   }
   if (r.violations.empty()) {
-    std::printf("  replayable invariants HOLD (total order, view agreement, dup/skip)\n");
+    std::printf("  replayable invariants HOLD (total order, view agreement, "
+                "dup/skip, state-digest convergence)\n");
     return 0;
   }
   std::printf("  %zu violation(s); reproduce the run live with:\n"
@@ -268,7 +295,8 @@ void print_usage() {
                "  --invariants F   instead of decoding datagrams, replay the chaos\n"
                "                   campaign trace F (chaos_campaign --trace) through\n"
                "                   the offline invariant checkers: total order, view\n"
-               "                   agreement, no duplicate/skipped delivery. Exit 0 =\n"
+               "                   agreement, no duplicate/skipped delivery, and\n"
+               "                   state-digest convergence (v2 traces). Exit 0 =\n"
                "                   all hold, 1 = violations, 2 = bad trace. See\n"
                "                   docs/CHAOS.md.\n"
                "  --metrics=prom   after decoding, dump this process's metrics\n"
