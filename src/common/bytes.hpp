@@ -145,6 +145,12 @@ class SharedBytes {
     return owner_ != nullptr && owner_ == other.owner_;
   }
 
+  /// Number of SharedBytes currently referencing the owning buffer (0 for a
+  /// default-constructed view). Approximate under concurrent modification,
+  /// exact at quiescence — the refcount-balance assertions in the SPSC ring
+  /// tests rely on the latter.
+  [[nodiscard]] long owner_refs() const { return owner_ ? owner_.use_count() : 0; }
+
   /// Content equality (not identity) — keeps EXPECT_EQ against Bytes and
   /// other SharedBytes working across the test suite.
   friend bool operator==(const SharedBytes& a, const SharedBytes& b) {

@@ -1,0 +1,106 @@
+// spsc_ring.hpp — bounded lock-free single-producer/single-consumer ring,
+// the frame-handoff primitive of the sharded runtime (docs/SHARDING.md).
+//
+// The I/O front thread pushes decoded-header frames (net::Datagram holding
+// a ref-counted SharedBytes) into each shard's ingress ring; the shard
+// thread pops them. Moving a Datagram through the ring transfers the
+// SharedBytes reference — no payload byte is copied and no allocation
+// happens after construction (the slot storage is sized once).
+//
+// Memory-order contract (the whole correctness argument, kept here so the
+// TSan job and reviewers have one place to look):
+//
+//   * `tail_` is written only by the producer, `head_` only by the
+//     consumer; both are monotonically increasing operation counts, with
+//     the slot index taken modulo capacity.
+//   * try_push writes the slot, then publishes it with a release store of
+//     `tail_`. try_pop acquires `tail_`, so the slot contents (and anything
+//     the producer wrote before pushing) happen-before the pop.
+//   * try_pop moves the slot out (leaving a moved-from shell so ref-counted
+//     payloads release promptly), then frees it with a release store of
+//     `head_`. try_push acquires `head_`, so the consumer's last read of a
+//     slot happens-before the producer overwrites it.
+//   * Each side caches the other's index and re-reads it only on apparent
+//     full/empty, keeping the common case to one shared-cache-line store.
+//
+// Capacity is exact (any value >= 1, no power-of-two rounding): a ring of
+// capacity 1 alternates strictly between producer and consumer, which the
+// unit tests pin.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ftcorba::runtime {
+
+// Destructive-interference distance, pinned to 64 rather than taken from
+// std::hardware_destructive_interference_size: the library constant varies
+// with -mtune and emits -Winterference-size, while 64 is correct for every
+// x86-64 and the common AArch64 parts this builds on.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Bounded wait-free SPSC ring. Exactly one thread may call try_push and
+/// exactly one thread may call try_pop (they may be the same thread).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        slots_(capacity == 0 ? 1 : capacity) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Producer side. Returns false (without touching `v`) when the ring is
+  /// full; the caller decides between dropping and backing off.
+  [[nodiscard]] bool try_push(T&& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail % capacity_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head % capacity_]);
+    slots_[head % capacity_] = T{};  // drop payload references eagerly
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Instantaneous occupancy. Exact from either owning thread; a snapshot
+  /// (possibly stale, never negative) from anywhere else.
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? std::size_t(tail - head) : 0;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<T> slots_;
+  // Producer cache line: its own index plus its cached view of the consumer.
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+  // Consumer cache line.
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace ftcorba::runtime

@@ -1,0 +1,97 @@
+// timer_wheel.hpp — a small hashed timer wheel, one per stack shard
+// (docs/SHARDING.md). The shard loop schedules its periodic duties here —
+// the Stack::tick cadence that drives heartbeats, fault detection, NACK
+// refresh and the egress micro-flush — instead of comparing every deadline
+// on every loop iteration: due keys fall out of the wheel as time advances,
+// O(slots walked), not O(timers armed).
+//
+// Single-threaded by design: each shard owns its wheel and touches it only
+// from its own thread, so there is nothing to synchronize.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace ftcorba::runtime {
+
+/// Hashed timer wheel with fixed slot count and granularity. Deadlines
+/// beyond one lap stay parked in their slot (lap counted) until the wheel
+/// comes around again; deadlines in the past fire on the next advance.
+class TimerWheel {
+ public:
+  explicit TimerWheel(Duration granularity = 1 * kMillisecond,
+                      std::size_t slots = 256)
+      : granularity_(granularity > 0 ? granularity : 1),
+        slots_(slots == 0 ? 1 : slots) {}
+
+  /// Arms `key` to fire once `at` is reached. Keys are caller-defined and
+  /// may be armed multiple times (each arming fires separately).
+  void schedule(TimePoint at, std::uint64_t key) {
+    const std::uint64_t tick = tick_of(at);
+    // An already-overdue deadline is parked in the cursor slot — a slot
+    // behind the cursor would not be walked again for a whole lap. The
+    // recorded tick still marks it due immediately.
+    const std::uint64_t slot_tick = tick < cursor_ ? cursor_ : tick;
+    slots_[slot_tick % slots_.size()].push_back(Entry{tick, key});
+    ++armed_;
+  }
+
+  /// Fires every entry due by `now`: walks the slots between the previous
+  /// advance and `now`, invoking `fn(key)` for each expired entry (in slot
+  /// order, ties in arming order) and keeping future laps parked.
+  template <typename Fn>
+  void advance(TimePoint now, Fn&& fn) {
+    const std::uint64_t now_tick = tick_of(now);
+    if (now_tick < cursor_) return;  // time cannot move backwards
+    if (armed_ == 0) {
+      cursor_ = now_tick;
+      return;
+    }
+    // Walk at most one full lap: beyond that every slot has been visited.
+    const std::uint64_t first = cursor_;
+    const std::uint64_t last =
+        (now_tick - first >= slots_.size()) ? first + slots_.size() - 1 : now_tick;
+    for (std::uint64_t t = first; t <= last; ++t) {
+      std::vector<Entry>& slot = slots_[t % slots_.size()];
+      if (slot.empty()) continue;
+      // fn may re-arm — the shard loop reschedules its tick key inside the
+      // callback — possibly into this very slot, so iterate a detached copy
+      // instead of a vector fn can grow under us.
+      std::vector<Entry> entries = std::move(slot);
+      slot.clear();
+      for (const Entry& e : entries) {
+        if (e.tick <= now_tick) {
+          --armed_;
+          fn(e.key);
+        } else {
+          slot.push_back(e);
+        }
+      }
+    }
+    cursor_ = now_tick;
+  }
+
+  /// Number of armed, not-yet-fired entries.
+  [[nodiscard]] std::size_t armed() const { return armed_; }
+
+  [[nodiscard]] Duration granularity() const { return granularity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t tick = 0;  // absolute tick index of the deadline
+    std::uint64_t key = 0;
+  };
+
+  [[nodiscard]] std::uint64_t tick_of(TimePoint at) const {
+    return at <= 0 ? 0 : std::uint64_t(at) / std::uint64_t(granularity_);
+  }
+
+  Duration granularity_;
+  std::vector<std::vector<Entry>> slots_;
+  std::uint64_t cursor_ = 0;  // first tick not yet walked by advance()
+  std::size_t armed_ = 0;
+};
+
+}  // namespace ftcorba::runtime

@@ -1,0 +1,85 @@
+// Real-UDP smoke for the sharded runtime: two nodes over loopback IP
+// multicast — a 2-shard threaded runtime and an inline single-shard one —
+// exchanging ordered messages through ShardedUdpDriver (recvmmsg in,
+// sendmmsg out). Environments without loopback multicast skip gracefully.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "runtime/udp_front.hpp"
+
+namespace ftcorba::runtime {
+namespace {
+
+constexpr FtDomainId kDomain{1};
+constexpr McastAddress kDomainAddr{0x0200};
+constexpr std::uint16_t kPort = 32007;
+
+ConnectionId test_conn() {
+  return ConnectionId{FtDomainId{1}, ObjectGroupId{10}, FtDomainId{1},
+                      ObjectGroupId{20}};
+}
+
+TEST(RuntimeUdp, ShardedAndInlineNodesConvergeOverLoopbackMulticast) {
+  ftmp::Config cfg;
+  cfg.fault_timeout = 30 * kSecond;
+
+  RuntimeConfig sharded;
+  sharded.shards = 2;
+  sharded.placement = RuntimeConfig::Placement::kRoundRobin;
+
+  ShardedRuntime a(ProcessorId{1}, kDomain, kDomainAddr, cfg, sharded);
+  ShardedRuntime b(ProcessorId{2}, kDomain, kDomainAddr, cfg);  // inline
+  const std::vector<ProcessorId> members{ProcessorId{1}, ProcessorId{2}};
+  const TimePoint t0 = wall_now();
+  for (std::uint32_t g = 1; g <= 2; ++g) {
+    a.create_group(t0, ProcessorGroupId{g}, McastAddress{0x0300 + g}, members);
+    b.create_group(t0, ProcessorGroupId{g}, McastAddress{0x0300 + g}, members);
+  }
+
+  net::UdpMulticastTransport::Options options;
+  options.port = kPort;
+  try {
+    ShardedUdpDriver drv_a(a, options);
+    ShardedUdpDriver drv_b(b, options);
+    a.start();
+
+    for (std::uint32_t g = 1; g <= 2; ++g) {
+      ASSERT_TRUE(b.stack(0).group(ProcessorGroupId{g})
+                      ->send_regular(wall_now(), test_conn(), g,
+                                     bytes_of("udp-g" + std::to_string(g))));
+    }
+
+    std::size_t received = 0;
+    std::uint64_t delivered_a = 0, delivered_b = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while ((delivered_a < 2 || delivered_b < 2) &&
+           std::chrono::steady_clock::now() < deadline) {
+      received += drv_a.poll_once(2 * kMillisecond);
+      received += drv_b.poll_once(2 * kMillisecond);
+      for (const ftmp::Event& ev : drv_a.take_events()) {
+        if (std::holds_alternative<ftmp::DeliveredMessage>(ev)) ++delivered_a;
+      }
+      for (const ftmp::Event& ev : drv_b.take_events()) {
+        if (std::holds_alternative<ftmp::DeliveredMessage>(ev)) ++delivered_b;
+      }
+    }
+    a.stop();
+    if (received == 0) {
+      GTEST_SKIP() << "multicast loopback not functional in this environment";
+    }
+    EXPECT_EQ(delivered_a, 2u) << "sharded node must deliver both groups";
+    EXPECT_EQ(delivered_b, 2u) << "sender loops back through the same path";
+    // Each group landed on its own shard (round robin over 2 shards).
+    EXPECT_GT(a.shard_stats(0).frames_in, 0u);
+    EXPECT_GT(a.shard_stats(1).frames_in, 0u);
+  } catch (const net::TransportError& e) {
+    GTEST_SKIP() << "UDP multicast unavailable: " << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace ftcorba::runtime

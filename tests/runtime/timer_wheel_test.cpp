@@ -1,0 +1,84 @@
+// Unit tests for the per-shard hashed timer wheel (docs/SHARDING.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "runtime/timer_wheel.hpp"
+
+namespace ftcorba::runtime {
+namespace {
+
+std::vector<std::uint64_t> fired(TimerWheel& wheel, TimePoint now) {
+  std::vector<std::uint64_t> keys;
+  wheel.advance(now, [&](std::uint64_t k) { keys.push_back(k); });
+  return keys;
+}
+
+TEST(TimerWheel, FiresAtTheScheduledTickNotBefore) {
+  TimerWheel wheel(1 * kMillisecond);
+  wheel.schedule(10 * kMillisecond, 42);
+  EXPECT_TRUE(fired(wheel, 9 * kMillisecond).empty());
+  EXPECT_EQ(wheel.armed(), 1u);
+  EXPECT_EQ(fired(wheel, 10 * kMillisecond), (std::vector<std::uint64_t>{42}));
+  EXPECT_EQ(wheel.armed(), 0u);
+  EXPECT_TRUE(fired(wheel, 20 * kMillisecond).empty()) << "one arming fires once";
+}
+
+TEST(TimerWheel, PastDeadlinesFireOnTheNextAdvance) {
+  TimerWheel wheel(1 * kMillisecond);
+  wheel.advance(50 * kMillisecond, [](std::uint64_t) {});
+  wheel.schedule(5 * kMillisecond, 7);  // already overdue
+  EXPECT_EQ(fired(wheel, 50 * kMillisecond), (std::vector<std::uint64_t>{7}));
+}
+
+TEST(TimerWheel, SlotOrderWithArmingOrderTieBreak) {
+  TimerWheel wheel(1 * kMillisecond, 16);
+  wheel.schedule(3 * kMillisecond, 30);
+  wheel.schedule(1 * kMillisecond, 10);
+  wheel.schedule(3 * kMillisecond, 31);
+  wheel.schedule(2 * kMillisecond, 20);
+  EXPECT_EQ(fired(wheel, 5 * kMillisecond),
+            (std::vector<std::uint64_t>{10, 20, 30, 31}));
+}
+
+TEST(TimerWheel, EntriesBeyondOneLapStayParked) {
+  // 8 slots of 1ms: a deadline 10ms out shares a slot with one 2ms out
+  // (10 % 8 == 2) but must not fire with it.
+  TimerWheel wheel(1 * kMillisecond, 8);
+  wheel.schedule(2 * kMillisecond, 2);
+  wheel.schedule(10 * kMillisecond, 10);
+  EXPECT_EQ(fired(wheel, 2 * kMillisecond), (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(wheel.armed(), 1u) << "next-lap entry stays parked";
+  EXPECT_TRUE(fired(wheel, 9 * kMillisecond).empty());
+  EXPECT_EQ(fired(wheel, 10 * kMillisecond), (std::vector<std::uint64_t>{10}));
+}
+
+TEST(TimerWheel, LongIdleGapWalksAtMostOneLap) {
+  TimerWheel wheel(1 * kMillisecond, 8);
+  wheel.schedule(3 * kMillisecond, 3);
+  // A jump of many laps must still fire everything due, exactly once.
+  EXPECT_EQ(fired(wheel, 1000 * kMillisecond), (std::vector<std::uint64_t>{3}));
+  wheel.schedule(1001 * kMillisecond, 5);
+  EXPECT_EQ(fired(wheel, 1001 * kMillisecond), (std::vector<std::uint64_t>{5}));
+}
+
+TEST(TimerWheel, RepeatedReschedulingDrivesASteadyCadence) {
+  // The shard loop's usage: one repeating key re-armed on every fire.
+  TimerWheel wheel(1 * kMillisecond);
+  TimePoint next = 1 * kMillisecond;
+  wheel.schedule(next, 0);
+  int ticks = 0;
+  for (TimePoint now = 0; now <= 20 * kMillisecond; now += 250 * kMicrosecond) {
+    wheel.advance(now, [&](std::uint64_t) {
+      ++ticks;
+      next += 1 * kMillisecond;
+      wheel.schedule(next, 0);
+    });
+  }
+  EXPECT_EQ(ticks, 20) << "one fire per granularity step, no drift";
+}
+
+}  // namespace
+}  // namespace ftcorba::runtime
