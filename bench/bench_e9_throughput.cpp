@@ -56,10 +56,12 @@ net::LinkModel flood_lan() {
 }
 
 ThroughputResult run_ftmp_flood(int n, std::size_t payload, std::uint64_t seed,
-                                bool batching) {
+                                bool batching,
+                                ftmp::OrderingMode ordering = ftmp::OrderingMode::kLamport) {
   ftmp::Config cfg;
   cfg.heartbeat_interval = 5 * kMillisecond;
   cfg.fault_timeout = 5 * kSecond;
+  cfg.ordering_mode = ordering;
   if (batching) {
     cfg.batch_max_datagram_bytes = kBatchBudget;
     cfg.batch_flush_us = 500;
@@ -375,6 +377,7 @@ struct JsonRow {
   int n;
   std::size_t payload;
   std::uint64_t seed;
+  ftmp::OrderingMode ordering;
   ThroughputResult result;
 };
 
@@ -393,12 +396,13 @@ void write_json(const char* path, bool quick, const std::vector<JsonRow>& rows) 
     const JsonRow& row = rows[i];
     std::fprintf(f,
                  "    {\"n\": %d, \"payload_bytes\": %zu, \"seed\": %llu, "
-                 "\"batching\": %s, \"msgs_per_s\": %.1f, "
+                 "\"ordering\": \"%s\", \"batching\": %s, \"msgs_per_s\": %.1f, "
                  "\"packets_per_msg\": %.2f, \"allocs_per_delivered_msg\": %.3f, "
                  "\"copied_bytes_per_delivered_msg\": %.1f, "
                  "\"batch_fill_ratio\": %.3f, \"subframes_per_datagram\": %.1f, "
                  "\"complete\": %s}%s\n",
                  row.n, row.payload, (unsigned long long)row.seed,
+                 ftmp::to_string(row.ordering),
                  row.result.batching ? "true" : "false",
                  row.result.msgs_per_s, row.result.packets_per_msg,
                  row.result.allocs_per_delivered, row.result.copied_bytes_per_delivered,
@@ -439,8 +443,8 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{64, 512, 4096};
   const std::vector<Protocol> protocols =
       quick ? std::vector<Protocol>{Protocol::kFtmp}
-            : std::vector<Protocol>{Protocol::kFtmp, Protocol::kSequencer,
-                                    Protocol::kTokenRing};
+            : std::vector<Protocol>{Protocol::kFtmp, Protocol::kLlft,
+                                    Protocol::kSequencer, Protocol::kTokenRing};
   std::vector<JsonRow> json_rows;
 
   std::printf("%4s | %6s | %-10s | %5s | %11s | %9s | %11s | %10s | %11s | %5s\n",
@@ -452,18 +456,22 @@ int main(int argc, char** argv) {
     for (std::size_t payload : payloads) {
       for (Protocol proto : protocols) {
         const std::uint64_t seed = 3000 + std::uint64_t(n);
-        if (proto == Protocol::kFtmp) {
+        if (proto == Protocol::kFtmp || proto == Protocol::kLlft) {
+          const ftmp::OrderingMode mode = proto == Protocol::kLlft
+                                              ? ftmp::OrderingMode::kLlft
+                                              : ftmp::OrderingMode::kLamport;
           // Same run twice: batching off, then on — the off row is the
           // baseline the batched speedup in CI is measured against.
           for (bool batching : {false, true}) {
-            const ThroughputResult r = run_ftmp_flood(n, payload, seed, batching);
+            const ThroughputResult r =
+                run_ftmp_flood(n, payload, seed, batching, mode);
             std::printf("%4d | %6zu | %-10s | %5s | %11.0f | %9.2f | %11.1f | "
                         "%10.2f | %11.1f | %5.2f%s\n",
                         n, payload, to_string(proto), batching ? "on" : "off",
                         r.msgs_per_s, r.mbits_per_s, r.packets_per_msg,
                         r.allocs_per_delivered, r.copied_bytes_per_delivered,
                         r.batch_fill_ratio, r.complete ? "" : "  [TIMEOUT]");
-            json_rows.push_back({n, payload, seed, r});
+            json_rows.push_back({n, payload, seed, mode, r});
           }
         } else {
           const ThroughputResult r = run_baseline_flood(proto, n, payload, seed);

@@ -42,6 +42,10 @@ MatrixRow classify(ftmp::MessageType t) {
     case ftmp::MessageType::kRemoveProcessor: return {"Yes", "Yes"};
     case ftmp::MessageType::kSuspect: return {"Yes", "No"};
     case ftmp::MessageType::kMembership: return {"Yes", "No"};
+    case ftmp::MessageType::kStateRequest: return {"No", "No"};
+    case ftmp::MessageType::kStateChunk: return {"No", "No"};
+    case ftmp::MessageType::kStateDigest: return {"No", "No"};
+    case ftmp::MessageType::kOrderInfo: return {"Yes", "No"};
   }
   return {"?", "?"};
 }

@@ -19,6 +19,7 @@ namespace {
 /// `bench_soak --seed N`.
 struct SoakResult {
   std::uint64_t seed = 0;
+  ftmp::OrderingMode ordering = ftmp::OrderingMode::kLamport;
   bool ok = false;
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
@@ -29,8 +30,9 @@ struct SoakResult {
 };
 
 /// One full soak run; result.ok is true when every invariant held.
-SoakResult run_soak(std::uint64_t seed) {
-  std::printf("\n--- soak seed %llu ---\n", (unsigned long long)seed);
+SoakResult run_soak(std::uint64_t seed, ftmp::OrderingMode ordering) {
+  std::printf("\n--- soak seed %llu (ordering %s) ---\n",
+              (unsigned long long)seed, ftmp::to_string(ordering));
   net::LinkModel link;
   link.loss = 0.05;
   link.duplicate = 0.02;
@@ -45,6 +47,7 @@ SoakResult run_soak(std::uint64_t seed) {
   // rate, but exercised across churn/rebind) and warn-only lag tracking.
   cfg.flow_window_messages = 64;
   cfg.flow_lag_warn = 50;
+  cfg.ordering_mode = ordering;
 
   // P1..P4 founders (P1, P2 permanent); P5..P8 churn pool.
   std::vector<ProcessorId> founders;
@@ -298,10 +301,12 @@ SoakResult run_soak(std::uint64_t seed) {
   }
   std::printf("invariants         : %s\n", ok ? "HOLD" : "VIOLATED");
   if (!ok) {
-    std::printf("  reproduce: bench_soak --seed %llu\n", (unsigned long long)seed);
+    std::printf("  reproduce: bench_soak --seed %llu --ordering %s\n",
+                (unsigned long long)seed, ftmp::to_string(ordering));
   }
   SoakResult result;
   result.seed = seed;
+  result.ordering = ordering;
   result.ok = ok;
   result.sent = sent;
   result.delivered = reference.size();
@@ -322,10 +327,11 @@ void write_json(const char* path, const std::vector<SoakResult>& results) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SoakResult& r = results[i];
     std::fprintf(f,
-                 "    {\"seed\": %llu, \"ok\": %s, \"sent\": %llu, "
+                 "    {\"seed\": %llu, \"ordering\": \"%s\", \"ok\": %s, \"sent\": %llu, "
                  "\"delivered\": %llu, \"churn_events\": %llu, \"crashes\": %llu, "
                  "\"rebinds\": %llu, \"wire_packets\": %llu}%s\n",
-                 (unsigned long long)r.seed, r.ok ? "true" : "false",
+                 (unsigned long long)r.seed, ftmp::to_string(r.ordering),
+                 r.ok ? "true" : "false",
                  (unsigned long long)r.sent, (unsigned long long)r.delivered,
                  (unsigned long long)r.churn_events, (unsigned long long)r.crashes,
                  (unsigned long long)r.rebinds, (unsigned long long)r.wire_packets,
@@ -345,16 +351,23 @@ int main(int argc, char** argv) {
   // the seed so one `bench_soak --seed N` reproduces a red run exactly.
   std::vector<std::uint64_t> seeds;
   const char* json_path = nullptr;
+  ftmp::OrderingMode ordering = ftmp::OrderingMode::kLamport;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seeds.push_back(std::stoull(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ordering") == 0 && i + 1 < argc) {
+      if (!ftmp::parse_ordering_mode(argv[++i], ordering)) {
+        std::fprintf(stderr, "bench_soak: unknown ordering mode '%s'\n", argv[i]);
+        return 2;
+      }
     } else if (argv[i][0] != '-') {
       seeds.push_back(std::stoull(argv[i]));
     } else {
       std::fprintf(stderr,
-                   "usage: bench_soak [--seed N]... [--json FILE] [N...]\n");
+                   "usage: bench_soak [--seed N]... [--ordering lamport|llft] "
+                   "[--json FILE] [N...]\n");
       return 2;
     }
   }
@@ -363,15 +376,16 @@ int main(int argc, char** argv) {
   std::vector<SoakResult> results;
   reset_metrics();
   for (std::uint64_t seed : seeds) {
-    results.push_back(run_soak(seed));
+    results.push_back(run_soak(seed, ordering));
     all_ok = results.back().ok && all_ok;
   }
   std::printf("\nsoak verdict: %s (%zu seeds)\n", all_ok ? "ALL HOLD" : "VIOLATIONS",
               seeds.size());
   for (const SoakResult& r : results) {
     if (!r.ok) {
-      std::printf("  red seed %llu — reproduce: bench_soak --seed %llu\n",
-                  (unsigned long long)r.seed, (unsigned long long)r.seed);
+      std::printf("  red seed %llu — reproduce: bench_soak --seed %llu --ordering %s\n",
+                  (unsigned long long)r.seed, (unsigned long long)r.seed,
+                  ftmp::to_string(r.ordering));
     }
   }
   if (json_path != nullptr) write_json(json_path, results);

@@ -596,6 +596,7 @@ class Engine {
     cfg.flow_window_messages = 64;
     cfg.flow_lag_warn = 50;
     cfg.batch_max_datagram_bytes = cfg_.batch_max_datagram_bytes;
+    cfg.ordering_mode = cfg_.ordering_mode;
     return cfg;
   }
 
@@ -736,8 +737,9 @@ void Engine::setup() {
   if (!cfg_.trace_path.empty()) {
     trace_ = std::fopen(cfg_.trace_path.c_str(), "w");
     if (!trace_) throw std::runtime_error("cannot open trace file " + cfg_.trace_path);
-    std::fprintf(trace_, "# chaos-trace v2 seed=%llu\n",
-                 (unsigned long long)cfg_.seed);
+    std::fprintf(trace_, "# chaos-trace v2 seed=%llu ordering=%s\n",
+                 (unsigned long long)cfg_.seed,
+                 to_string(cfg_.ordering_mode));
   }
   // Gauge balance is checked against a clean slate (process-global
   // instruments; no-ops when metrics are compiled out).
@@ -1459,6 +1461,12 @@ TraceReplay replay_trace_file(const std::string& path) {
   }
   out.seed = std::strtoull(line.c_str() + std::strlen("# chaos-trace vN seed="),
                            nullptr, 10);
+  // The ordering engine rides the header as a trailing key (LLFT-mode
+  // traces replay with the same checkers — the invariants are engine-
+  // agnostic, only the recorded order differs).
+  if (const auto pos = line.find(" ordering="); pos != std::string::npos) {
+    out.ordering = line.substr(pos + std::strlen(" ordering="));
+  }
   out.parsed = true;
 
   InvariantChecker checker;

@@ -46,6 +46,7 @@
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "ftmp/config.hpp"
 
 namespace ftcorba::ftmp::chaos {
 
@@ -286,6 +287,9 @@ struct CampaignConfig {
   /// The wire-tap §5 identity checker understands FTMB sub-frames either
   /// way, so campaigns exercise the batched wire format under faults.
   std::size_t batch_max_datagram_bytes = 0;
+  /// Total-ordering engine for every stack in the fleet (ordering.hpp);
+  /// recorded in the trace header so offline replay knows the mode.
+  OrderingMode ordering_mode = OrderingMode::kLamport;
 };
 
 struct CampaignResult {
@@ -331,6 +335,9 @@ struct TraceReplay {
   std::string parse_error;
   std::uint32_t version = 0;  ///< trace format version from the header
   std::uint64_t seed = 0;     ///< seed recorded in the trace header
+  /// Ordering engine recorded in the header ("lamport" when absent — v1/v2
+  /// traces predate the seam and were always Lamport-ordered).
+  std::string ordering = "lamport";
   std::uint64_t records = 0;  ///< D/V/R/S records replayed
   std::vector<Violation> violations;
 };

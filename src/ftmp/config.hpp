@@ -10,6 +10,27 @@
 
 namespace ftcorba::ftmp {
 
+/// Which total-ordering engine a group runs behind the OrderingPolicy seam
+/// (src/ftmp/ordering.hpp, docs/ORDERING.md).
+enum class OrderingMode {
+  /// The paper's ROMP: Lamport timestamps totally order messages and
+  /// delivery waits for an ack-timestamp bound from every member.
+  kLamport,
+  /// LLFT-style leader-stamped ordering: the view's smallest-id live
+  /// member assigns delivery slots via OrderInfo grants; followers deliver
+  /// in granted order and verify gaps through RMP retransmission. Leader
+  /// failure reconciles through the PGMP install path.
+  kLlft,
+};
+
+[[nodiscard]] constexpr const char* to_string(OrderingMode m) {
+  return m == OrderingMode::kLlft ? "llft" : "lamport";
+}
+
+/// Parses "lamport" / "llft"; returns false (and leaves `out` alone) on
+/// anything else.
+[[nodiscard]] bool parse_ordering_mode(const char* s, OrderingMode& out);
+
 /// Stack-wide configuration, fixed at construction.
 struct Config {
   /// A processor multicasts a Heartbeat to a group if it has not multicast
@@ -160,6 +181,15 @@ struct Config {
   /// stall the group". 0 disables each threshold (both default off).
   std::uint64_t flow_lag_warn = 0;
   std::uint64_t flow_lag_evict = 0;
+
+  // ---- ordering engine (docs/ORDERING.md) ----
+
+  /// Total-order engine for every group on this stack. The default is the
+  /// paper's Lamport ROMP and is pinned byte-identical to the pre-seam
+  /// stack by tests/ftmp/ordering_equivalence_test.cpp; kLlft trades the
+  /// stability round for leader-stamped delivery (lower latency, leader
+  /// reconciliation on failure).
+  OrderingMode ordering_mode = OrderingMode::kLamport;
 };
 
 }  // namespace ftcorba::ftmp

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "common/bytes.hpp"
@@ -18,9 +19,9 @@
 #include "ftmp/flow.hpp"
 #include "ftmp/fragment.hpp"
 #include "ftmp/messages.hpp"
+#include "ftmp/ordering.hpp"
 #include "ftmp/pgmp.hpp"
 #include "ftmp/rmp.hpp"
-#include "ftmp/romp.hpp"
 #include "net/packet.hpp"
 
 namespace ftcorba::ftmp {
@@ -137,7 +138,7 @@ class GroupSession {
   [[nodiscard]] const MembershipInfo& membership() const { return pgmp_.membership(); }
   [[nodiscard]] bool is_member(ProcessorId p) const;
   [[nodiscard]] const Rmp& rmp() const { return rmp_; }
-  [[nodiscard]] const Romp& romp() const { return romp_; }
+  [[nodiscard]] const OrderingPolicy& ordering() const { return *ordering_; }
   [[nodiscard]] const Pgmp& pgmp() const { return pgmp_; }
   [[nodiscard]] const FlowController& flow() const { return flow_; }
   [[nodiscard]] const Reassembler& reassembler() const { return reassembler_; }
@@ -207,7 +208,9 @@ class GroupSession {
   Outbox& outbox_;
 
   Rmp rmp_;
-  Romp romp_;
+  // Constructed by make_ordering from config_.ordering_mode; must outlive
+  // (and precede) pgmp_, which holds a reference to it.
+  std::unique_ptr<OrderingPolicy> ordering_;
   Pgmp pgmp_;
   FlowController flow_;
   FlowListener* flow_listener_ = nullptr;

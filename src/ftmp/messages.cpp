@@ -125,6 +125,11 @@ struct BodyEncoder {
     w.u64(b.fingerprint);
     w.u64(b.digest);
   }
+  void operator()(const OrderInfoBody& b) {
+    w.u64(static_cast<std::uint64_t>(b.view_ts));
+    put_source_seqs(w, b.floors);
+    put_source_seqs(w, b.grants);
+  }
 };
 
 [[nodiscard]] Body decode_body(MessageType type, Reader& r) {
@@ -214,6 +219,13 @@ struct BodyEncoder {
       b.digest = r.u64();
       return b;
     }
+    case MessageType::kOrderInfo: {
+      OrderInfoBody b;
+      b.view_ts = static_cast<Timestamp>(r.u64());
+      b.floors = get_source_seqs(r);
+      b.grants = get_source_seqs(r);
+      return b;
+    }
   }
   throw CodecError("unknown message type");
 }
@@ -235,7 +247,8 @@ MessageType type_of(const Body& body) {
         else if constexpr (std::is_same_v<T, MembershipBody>) return MessageType::kMembership;
         else if constexpr (std::is_same_v<T, StateRequestBody>) return MessageType::kStateRequest;
         else if constexpr (std::is_same_v<T, StateChunkBody>) return MessageType::kStateChunk;
-        else return MessageType::kStateDigest;
+        else if constexpr (std::is_same_v<T, StateDigestBody>) return MessageType::kStateDigest;
+        else return MessageType::kOrderInfo;
       },
       body);
 }

@@ -178,11 +178,34 @@ struct StateDigestBody {
   friend bool operator==(const StateDigestBody&, const StateDigestBody&) = default;
 };
 
+/// OrderInfo (docs/ORDERING.md): in LLFT mode the current leader grants
+/// delivery slots by naming (source, seq) pairs; followers deliver the
+/// referenced messages in grant order. Like Suspect, OrderInfo is reliable
+/// and source-ordered but NOT totally ordered — the leader's own stream
+/// position is what serializes the grants.
+struct OrderInfoBody {
+  /// Membership (view) timestamp under which the leader issued the grants;
+  /// grants from a deposed leader or a not-yet-installed view are
+  /// disambiguated by this tag (docs/ORDERING.md §reconciliation).
+  Timestamp view_ts = 0;
+  /// Delivered-floor advisory: per-source seqs at or below which every
+  /// member must consider delivery settled (sent with the leader's first
+  /// OrderInfo of a view, so a joiner discards pre-join backlog instead of
+  /// re-ordering it). Empty on steady-state grants.
+  std::vector<SourceSeq> floors;
+  /// Granted delivery slots, consumed in list order. Per source, grant
+  /// seqs are strictly increasing across a leader's reign.
+  std::vector<SourceSeq> grants;
+
+  friend bool operator==(const OrderInfoBody&, const OrderInfoBody&) = default;
+};
+
 /// Any FTMP message body.
 using Body = std::variant<RegularBody, RetransmitRequestBody, HeartbeatBody,
                           ConnectRequestBody, ConnectBody, AddProcessorBody,
                           RemoveProcessorBody, SuspectBody, MembershipBody,
-                          StateRequestBody, StateChunkBody, StateDigestBody>;
+                          StateRequestBody, StateChunkBody, StateDigestBody,
+                          OrderInfoBody>;
 
 /// A complete FTMP message: header + typed body.
 struct Message {

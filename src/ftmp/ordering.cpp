@@ -1,0 +1,31 @@
+#include "ftmp/ordering.hpp"
+
+#include <cstring>
+
+#include "ftmp/llft.hpp"
+#include "ftmp/romp.hpp"
+
+namespace ftcorba::ftmp {
+
+bool parse_ordering_mode(const char* s, OrderingMode& out) {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "lamport") == 0) {
+    out = OrderingMode::kLamport;
+    return true;
+  }
+  if (std::strcmp(s, "llft") == 0) {
+    out = OrderingMode::kLlft;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<OrderingPolicy> make_ordering(ProcessorId self,
+                                              const Config& config) {
+  if (config.ordering_mode == OrderingMode::kLlft) {
+    return std::make_unique<LlftOrdering>(self, config);
+  }
+  return std::make_unique<Romp>(self, config);
+}
+
+}  // namespace ftcorba::ftmp

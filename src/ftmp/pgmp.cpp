@@ -27,7 +27,7 @@ namespace {
 
 }  // namespace
 
-Pgmp::Pgmp(ProcessorId self, const Config& config, Rmp& rmp, Romp& romp)
+Pgmp::Pgmp(ProcessorId self, const Config& config, Rmp& rmp, OrderingPolicy& romp)
     : self_(self), config_(config), rmp_(rmp), romp_(romp) {
   metrics_.suspicions = metrics::counter(
       "ftmp_pgmp_suspicions_total",
@@ -79,6 +79,7 @@ void Pgmp::bootstrap(TimePoint now, const std::vector<ProcessorId>& members) {
     last_heard_[m] = now;
   }
   romp_.set_members(membership_.members);
+  romp_.set_view(membership_.timestamp);
   InstallOut install;
   install.change.reason = MembershipChanged::Reason::kInitial;
   install.change.membership = membership_;
@@ -128,6 +129,12 @@ void Pgmp::init_from_add(TimePoint now, const Message& add_msg) {
   for (ProcessorId m : body.current_membership.members) {
     romp_.add_member(m, 0);
   }
+  // Leader-based ordering: we are not leader-eligible until our admission
+  // installs, and we consume grants under the sponsor's view until the
+  // membership changes ordered before our AddProcessor advance it through
+  // the same set_view calls the members make.
+  romp_.note_joined_epoch(self_, kJoinPending);
+  romp_.set_view(body.current_membership.timestamp);
   // The existing members take the AddProcessor's own timestamp as our
   // starting bound, so our clock must already exceed it.
   romp_.witness(add_msg.header.message_timestamp);
@@ -247,6 +254,8 @@ void Pgmp::on_add_ordered(TimePoint now, const Message& msg) {
     // sponsor's AddProcessor body was stale by the time it was ordered.
     stats_.adds_completed += 1;
     metrics_.adds.add();
+    romp_.note_joined_epoch(self_, membership_.timestamp);
+    romp_.set_view(membership_.timestamp);
     refresh_suspicions_after_change();
     InstallOut install;
     install.change.reason = MembershipChanged::Reason::kInitial;
@@ -274,6 +283,10 @@ void Pgmp::on_add_ordered(TimePoint now, const Message& msg) {
   // its consumption tracking or resume points reported for it would stick
   // at the old incarnation's position forever.
   romp_.reset_source(member, 0);
+  // The new member is leader-ineligible until the next view change: the
+  // standing leader's floor advisory must reach it first (docs/ORDERING.md).
+  romp_.note_joined_epoch(member, membership_.timestamp);
+  romp_.set_view(membership_.timestamp);
   last_heard_[member] = now;  // fault-timer grace while it bootstraps
   FTC_LOG(kDebug) << to_string(self_) << " add_ordered " << to_string(member)
                   << " hdr_ts=" << msg.header.message_timestamp
@@ -319,6 +332,7 @@ void Pgmp::on_remove_ordered(TimePoint now, const Message& msg) {
   rmp_.remove_source(member);
   rmp_.unpin_store(member.raw());  // in case it was a never-completed joiner
   romp_.remove_member(member, /*drop_pending=*/true);
+  romp_.set_view(membership_.timestamp);
   last_heard_.erase(member);
   my_suspects_.erase(member);
   pinned_suspects_.erase(member);
@@ -449,6 +463,7 @@ void Pgmp::recompute_convicted(TimePoint now) {
       my_last_proposal_.clear();
       round_started_.reset();
       equalization_counted_ = false;
+      romp_.set_recovering(false);
       return;
     }
     maybe_send_membership(now);
@@ -479,6 +494,9 @@ void Pgmp::maybe_send_membership(TimePoint now) {
   const std::vector<ProcessorId> p = proposal_from_convicted();
   if (p == my_last_proposal_) return;
   my_last_proposal_ = p;
+  // From here until the round installs or aborts, a leader-based ordering
+  // engine must not let any grant outrun the cut this proposal reports.
+  romp_.set_recovering(true);
   MembershipBody body;
   body.current_membership = membership_;
   for (ProcessorId m : membership_.members) {
@@ -560,6 +578,7 @@ void Pgmp::try_complete(TimePoint now) {
   }
   membership_.members = p;
   membership_.timestamp = new_ts;
+  romp_.set_view(new_ts);
   for (ProcessorId r : p) round_floor_[r] = proposals_[r].msg_seq;
   metrics_.convictions.add(crashed.size());
   if (round_started_) {
@@ -592,6 +611,7 @@ void Pgmp::refresh_suspicions_after_change() {
 }
 
 void Pgmp::reset_round_state() {
+  romp_.set_recovering(false);
   suspicion_.clear();
   proposals_.clear();
   convicted_.clear();

@@ -49,8 +49,8 @@
 #include "ftmp/config.hpp"
 #include "ftmp/events.hpp"
 #include "ftmp/messages.hpp"
+#include "ftmp/ordering.hpp"
 #include "ftmp/rmp.hpp"
-#include "ftmp/romp.hpp"
 
 namespace ftcorba::ftmp {
 
@@ -95,7 +95,9 @@ class Pgmp {
  public:
   /// `rmp` and `romp` are the sibling layers of the same group session;
   /// PGMP queries stream state from RMP and performs epoch surgery on both.
-  Pgmp(ProcessorId self, const Config& config, Rmp& rmp, Romp& romp);
+  /// The ordering engine is reached only through the OrderingPolicy seam,
+  /// so either mode (Lamport or LLFT) reconciles through the same installs.
+  Pgmp(ProcessorId self, const Config& config, Rmp& rmp, OrderingPolicy& romp);
 
   // ---- lifecycle ----
 
@@ -226,7 +228,7 @@ class Pgmp {
   ProcessorId self_;
   Config config_;
   Rmp& rmp_;
-  Romp& romp_;
+  OrderingPolicy& romp_;
 
   bool active_ = false;
   MembershipInfo membership_;

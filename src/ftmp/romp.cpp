@@ -29,6 +29,7 @@ bool is_reliable(MessageType t) {
     case MessageType::kStateRequest:
     case MessageType::kStateChunk:
     case MessageType::kStateDigest:
+    case MessageType::kOrderInfo:
       return true;
     default:
       return false;

@@ -33,36 +33,43 @@
 #include "common/metrics.hpp"
 #include "ftmp/config.hpp"
 #include "ftmp/messages.hpp"
+#include "ftmp/ordering.hpp"
 
 namespace ftcorba::ftmp {
 
-/// Counters for tests and the E7/E8 benches.
-struct RompStats {
-  std::uint64_t ordered_delivered = 0;  ///< messages handed up in total order
-  std::uint64_t pending_peak = 0;       ///< max simultaneous pending messages
-  std::uint64_t stability_releases = 0; ///< (source, seq) release notices issued
-};
+/// Counters for tests and the E7/E8 benches (now shared across ordering
+/// engines; the historical name stays an alias).
+using RompStats = OrderingStats;
 
-/// Causal/total ordering and stability for one processor group.
-class Romp {
+/// Causal/total ordering and stability for one processor group — the
+/// paper's Lamport engine behind the OrderingPolicy seam (ordering.hpp).
+class Romp : public OrderingPolicy {
  public:
   Romp(ProcessorId self, const Config& config);
+
+  [[nodiscard]] OrderingMode mode() const override {
+    return OrderingMode::kLamport;
+  }
 
   // ---- membership epochs ----
 
   /// Installs the initial member set (bounds start at 0 and rise with the
   /// first messages/heartbeats from each member).
-  void set_members(const std::vector<ProcessorId>& members);
+  void set_members(const std::vector<ProcessorId>& members) override;
 
   /// Adds a member at an AddProcessor ordering point; `initial_bound` is
   /// the AddProcessor's own timestamp (the new member's future messages are
   /// guaranteed to exceed the membership timestamp it starts from).
-  void add_member(ProcessorId member, Timestamp initial_bound);
+  void add_member(ProcessorId member, Timestamp initial_bound) override;
 
   /// Removes a member; if `drop_pending`, its not-yet-ordered messages are
   /// discarded (RemoveProcessor semantics: "removed from the membership
   /// when the RemoveProcessor message is ordered").
-  void remove_member(ProcessorId member, bool drop_pending);
+  void remove_member(ProcessorId member, bool drop_pending) override;
+
+  /// Lamport ordering is leaderless: view changes carry no engine state
+  /// beyond the membership updates above.
+  void set_view(Timestamp view_ts) override { (void)view_ts; }
 
   /// Restarts consumption tracking for `src` at `floor`: seqs at or below
   /// it count as consumed, nothing above it does. Needed whenever the
@@ -71,36 +78,36 @@ class Romp {
   /// the AddProcessor body's positions; stale counters from before the
   /// rebase would otherwise never advance again and poison the resume
   /// points this processor reports in future AddProcessor bodies.
-  void reset_source(ProcessorId src, SeqNum floor);
+  void reset_source(ProcessorId src, SeqNum floor) override;
 
   /// Current member set (sorted).
-  [[nodiscard]] std::vector<ProcessorId> members() const;
+  [[nodiscard]] std::vector<ProcessorId> members() const override;
 
   /// True if `p` is currently a member.
-  [[nodiscard]] bool is_member(ProcessorId p) const { return members_.contains(p); }
+  [[nodiscard]] bool is_member(ProcessorId p) const override { return members_.contains(p); }
 
   // ---- timestamping ----
 
   /// Stamps an outgoing message (advances the Lamport clock).
-  [[nodiscard]] Timestamp stamp(TimePoint now) { return clock_.tick(now); }
+  [[nodiscard]] Timestamp stamp(TimePoint now) override { return clock_.tick(now); }
 
   /// The greatest timestamp issued or witnessed.
-  [[nodiscard]] Timestamp latest() const { return clock_.latest(); }
+  [[nodiscard]] Timestamp latest() const override { return clock_.latest(); }
 
   /// Observes a timestamp (Lamport advance) without receiving a message —
   /// used when a joining member seeds its clock from an AddProcessor body.
-  void witness(Timestamp t) { clock_.witness(t); }
+  void witness(Timestamp t) override { clock_.witness(t); }
 
   /// Ack timestamp for outgoing headers: min over members of bound
   /// ("received all messages with lower timestamps from all members").
-  [[nodiscard]] Timestamp ack_timestamp() const;
+  [[nodiscard]] Timestamp ack_timestamp() const override;
 
   /// Current bound for one member (0 if never heard).
-  [[nodiscard]] Timestamp bound(ProcessorId q) const;
+  [[nodiscard]] Timestamp bound(ProcessorId q) const override;
 
   /// min over members of bound — the timestamp up to which delivery can
   /// proceed (also the flush watermark for Connect rebinds, §7).
-  [[nodiscard]] Timestamp min_bound() const;
+  [[nodiscard]] Timestamp min_bound() const override;
 
   // ---- inputs ----
 
@@ -110,27 +117,27 @@ class Romp {
   /// AddProcessor, RemoveProcessor, Fig. 3) — adds it to the pending set.
   /// `now` (when the caller has it) feeds the ordering-wait histogram; the
   /// default keeps time-less unit-test call sites valid.
-  void on_source_ordered(const Frame& frame, TimePoint now = 0);
+  void on_source_ordered(const Frame& frame, TimePoint now = 0) override;
 
   /// A Heartbeat header (unreliable direct delivery from RMP).
   /// `contiguous_seq` is RMP's contiguously-received sequence for the
   /// source; the bound only rises when the heartbeat's sequence number
   /// equals it (otherwise there are messages in flight we lack).
-  void on_heartbeat(const Header& header, SeqNum contiguous_seq);
+  void on_heartbeat(const Header& header, SeqNum contiguous_seq) override;
 
   // ---- ordered delivery ----
 
   /// Pops every pending frame that is now deliverable, in delivery
   /// (total) order.
-  [[nodiscard]] std::vector<Frame> collect_deliverable(TimePoint now = 0);
+  [[nodiscard]] std::vector<Frame> collect_deliverable(TimePoint now = 0) override;
 
   /// Number of messages awaiting order.
-  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_count() const override { return pending_.size(); }
 
   /// Sequence number of the most recent message from `src` that this
   /// processor has ordered (delivered). Reported in AddProcessor bodies
   /// (§7.1) so a new member can construct the order from there on.
-  [[nodiscard]] SeqNum last_ordered_seq(ProcessorId src) const;
+  [[nodiscard]] SeqNum last_ordered_seq(ProcessorId src) const override;
 
   /// The largest S such that every message from `src` with seq <= S has
   /// been consumed here: delivered if totally ordered, or handed to PGMP
@@ -138,23 +145,23 @@ class Romp {
   /// last_ordered_seq — is the safe stream-resume point for a new member:
   /// control messages may be stability-purged and are epoch-stale for a
   /// joiner anyway, so a boundary below them could never become contiguous.
-  [[nodiscard]] SeqNum consumed_up_to(ProcessorId src) const;
+  [[nodiscard]] SeqNum consumed_up_to(ProcessorId src) const override;
 
   // ---- stability / buffer management ----
 
   /// Timestamp below which every member has acknowledged everything.
-  [[nodiscard]] Timestamp stable_timestamp() const;
+  [[nodiscard]] Timestamp stable_timestamp() const override;
 
   /// The largest ack timestamp observed from `q` (0 if never heard) — the
   /// per-member stability knowledge feeding slow-receiver lag monitoring
   /// (flow.hpp): stable_timestamp() is the min of these over members.
-  [[nodiscard]] Timestamp last_ack(ProcessorId q) const;
+  [[nodiscard]] Timestamp last_ack(ProcessorId q) const override;
 
   /// Advances stability: returns, per source, the largest sequence number
   /// whose message has become stable since the last call. The session
   /// forwards these to Rmp::release (§6: "ROMP then recovers the buffer
   /// space").
-  [[nodiscard]] std::vector<std::pair<ProcessorId, SeqNum>> collect_stable();
+  [[nodiscard]] std::vector<std::pair<ProcessorId, SeqNum>> collect_stable() override;
 
   // ---- fault-recovery epoch cut (PGMP §7.2) ----
 
@@ -164,12 +171,12 @@ class Romp {
   /// cut. Survivors' beyond-cut messages stay pending for the new epoch.
   [[nodiscard]] std::vector<Frame> drain_up_to_cut(
       const std::map<ProcessorId, SeqNum>& cuts,
-      const std::set<ProcessorId>& survivors);
+      const std::set<ProcessorId>& survivors) override;
 
   /// Layer counters.
-  [[nodiscard]] const RompStats& stats() const { return stats_; }
+  [[nodiscard]] const OrderingStats& stats() const override { return stats_; }
 
- private:
+ protected:
   void observe_header(const Header& h);
   void erase_pending(std::map<std::pair<Timestamp, std::uint32_t>, Frame>::iterator it);
 

@@ -66,7 +66,7 @@ constexpr std::uint8_t kMagic[4] = {'F', 'T', 'M', 'P'};
       static_cast<std::uint32_t>(load_int(d + kSizeFieldOffset, 4, h.byte_order));
   if (kTypeFieldOffset >= len) return truncated(1, kTypeFieldOffset);
   const std::uint8_t type = d[kTypeFieldOffset];
-  if (type < 1 || type > 12) {
+  if (type < 1 || type > 13) {
     out.error = "bad message type " + std::to_string(type);
     return out;
   }
@@ -106,6 +106,7 @@ const char* to_string(MessageType t) {
     case MessageType::kStateRequest: return "StateRequest";
     case MessageType::kStateChunk: return "StateChunk";
     case MessageType::kStateDigest: return "StateDigest";
+    case MessageType::kOrderInfo: return "OrderInfo";
   }
   return "Unknown";
 }

@@ -36,6 +36,7 @@ enum class MessageType : std::uint8_t {
   kStateRequest = 10,     ///< Joiner asks the donor for snapshot chunks (state transfer).
   kStateChunk = 11,       ///< One snapshot chunk from the donor (state transfer).
   kStateDigest = 12,      ///< Rolling state digest for anti-entropy convergence checks.
+  kOrderInfo = 13,        ///< Leader-issued delivery-slot grants (LLFT ordering mode).
 };
 
 /// Human-readable message-type name (used by logs and the Fig. 3 bench).

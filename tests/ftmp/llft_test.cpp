@@ -1,0 +1,296 @@
+// LLFT ordering-engine tests (llft.hpp, docs/ORDERING.md): leader grant
+// stamping, follower gap recovery through RMP NACKs, and leader-failover
+// reconciliation through the PGMP install path (prefix agreement across
+// survivors, new-leader accession, post-failover progress).
+#include <gtest/gtest.h>
+
+#include "ftmp/llft.hpp"
+#include "ftmp/sim_harness.hpp"
+
+namespace ftcorba::ftmp {
+namespace {
+
+constexpr FtDomainId kDomain{1};
+constexpr McastAddress kDomainAddr{100};
+constexpr ProcessorGroupId kGroup{1};
+constexpr McastAddress kGroupAddr{200};
+
+ConnectionId test_conn() {
+  return ConnectionId{kDomain, ObjectGroupId{1}, kDomain, ObjectGroupId{2}};
+}
+
+std::vector<ProcessorId> ids(std::initializer_list<std::uint32_t> raw) {
+  std::vector<ProcessorId> out;
+  for (auto r : raw) out.push_back(ProcessorId{r});
+  return out;
+}
+
+Config llft_config() {
+  Config cfg;
+  cfg.ordering_mode = OrderingMode::kLlft;
+  return cfg;
+}
+
+const LlftOrdering& engine(SimHarness& h, ProcessorId p) {
+  auto* g = h.stack(p).group(kGroup);
+  EXPECT_NE(g, nullptr) << "no session for " << to_string(p);
+  return dynamic_cast<const LlftOrdering&>(g->ordering());
+}
+
+void expect_same_order(SimHarness& h, const std::vector<ProcessorId>& members,
+                       std::size_t expected, const char* what) {
+  const auto reference = h.delivered(members.front(), kGroup);
+  ASSERT_EQ(reference.size(), expected) << what;
+  for (ProcessorId p : members) {
+    const auto msgs = h.delivered(p, kGroup);
+    ASSERT_EQ(msgs.size(), reference.size())
+        << what << " at " << to_string(p);
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(msgs[i].source, reference[i].source) << what << " pos " << i;
+      EXPECT_EQ(msgs[i].seq, reference[i].seq) << what << " pos " << i;
+      EXPECT_EQ(msgs[i].giop_message, reference[i].giop_message)
+          << what << " pos " << i;
+    }
+  }
+}
+
+// The smallest-id member grants the slots; everyone (the leader included,
+// via multicast loopback) delivers in one identical order, and headers
+// still carry live Lamport timestamps for the untouched stability plane.
+TEST(Llft, LeaderStampsAndAllMembersDeliverInGrantOrder) {
+  SimHarness h({}, 71);
+  const auto all = ids({1, 2, 3});
+  for (ProcessorId p : all) h.add_processor(p, kDomain, kDomainAddr, llft_config());
+  for (ProcessorId p : all) h.stack(p).create_group(h.now(), kGroup, kGroupAddr, all);
+  h.run_for(50 * kMillisecond);
+
+  for (ProcessorId p : all) {
+    EXPECT_EQ(engine(h, p).mode(), OrderingMode::kLlft);
+    EXPECT_EQ(engine(h, p).leader(), ProcessorId{1}) << "at " << to_string(p);
+  }
+  EXPECT_TRUE(engine(h, ProcessorId{1}).leading());
+  EXPECT_FALSE(engine(h, ProcessorId{2}).leading());
+
+  std::uint64_t req = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (ProcessorId p : all) {
+      h.stack(p).group(kGroup)->send_regular(
+          h.now(), test_conn(), ++req,
+          bytes_of(to_string(p) + "-m" + std::to_string(round)));
+    }
+    h.run_for(5 * kMillisecond);
+  }
+  h.run_for(500 * kMillisecond);
+  expect_same_order(h, all, std::size_t(req), "grant order");
+
+  // Stability kept running: the engines reclaimed buffers (non-zero acks).
+  for (ProcessorId p : all) {
+    EXPECT_GT(engine(h, p).stable_timestamp(), 0u) << "at " << to_string(p);
+  }
+}
+
+// A follower cut off mid-stream misses both Regulars and the OrderInfo
+// grants covering them; after the heal, RMP NACK recovery refills the gaps
+// and the follower converges on the leader's order with no skips.
+TEST(Llft, FollowerRecoversGrantGapsThroughRetransmission) {
+  SimHarness h({}, 72);
+  const auto all = ids({1, 2, 3});
+  for (ProcessorId p : all) h.add_processor(p, kDomain, kDomainAddr, llft_config());
+  for (ProcessorId p : all) h.stack(p).create_group(h.now(), kGroup, kGroupAddr, all);
+  h.run_for(50 * kMillisecond);
+
+  std::uint64_t req = 0;
+  // Isolate P3 briefly (below the fault timeout — no exclusion) while the
+  // other members keep ordering traffic.
+  h.network().set_partition({ids({3})});
+  for (int round = 0; round < 5; ++round) {
+    for (ProcessorId p : ids({1, 2})) {
+      h.stack(p).group(kGroup)->send_regular(
+          h.now(), test_conn(), ++req,
+          bytes_of("gap-" + std::to_string(req)));
+    }
+    h.run_for(10 * kMillisecond);
+  }
+  h.network().heal();
+  h.run_for(1 * kSecond);
+
+  for (ProcessorId p : all) {
+    EXPECT_EQ(h.stack(p).group(kGroup)->membership().members, all)
+        << "spurious exclusion at " << to_string(p);
+  }
+  expect_same_order(h, all, std::size_t(req), "post-gap order");
+}
+
+// Leader failure: the survivors convict the leader, reconcile through the
+// PGMP install (identical delivered prefix at the cut), the next smallest
+// eligible member accedes, and ordering resumes under the new leader.
+TEST(Llft, LeaderFailoverReconcilesAndResumesUnderNewLeader) {
+  SimHarness h({}, 73);
+  const auto all = ids({1, 2, 3, 4});
+  for (ProcessorId p : all) h.add_processor(p, kDomain, kDomainAddr, llft_config());
+  for (ProcessorId p : all) h.stack(p).create_group(h.now(), kGroup, kGroupAddr, all);
+  h.run_for(50 * kMillisecond);
+  ASSERT_EQ(engine(h, ProcessorId{2}).leader(), ProcessorId{1});
+
+  // In-flight traffic from everyone, then the leader dies mid-stream.
+  std::uint64_t req = 0;
+  for (ProcessorId p : all) {
+    h.stack(p).group(kGroup)->send_regular(h.now(), test_conn(), ++req,
+                                           bytes_of(to_string(p) + "-preq"));
+  }
+  h.run_for(5 * kMillisecond);
+  h.network().set_partition({ids({1})});
+
+  const auto survivors = ids({2, 3, 4});
+  ASSERT_TRUE(h.run_until_pred(
+      [&] {
+        for (ProcessorId p : survivors) {
+          auto* g = h.stack(p).group(kGroup);
+          if (!g || g->membership().members != survivors) return false;
+        }
+        return true;
+      },
+      h.now() + 10 * kSecond));
+
+  // New leader everywhere: the smallest surviving (founding) member.
+  for (ProcessorId p : survivors) {
+    EXPECT_EQ(engine(h, p).leader(), ProcessorId{2}) << "at " << to_string(p);
+  }
+  EXPECT_TRUE(engine(h, ProcessorId{2}).leading());
+
+  // The reconciled prefixes agree (virtual synchrony at the cut).
+  const auto reference = h.delivered(ProcessorId{2}, kGroup);
+  for (ProcessorId p : survivors) {
+    const auto msgs = h.delivered(p, kGroup);
+    ASSERT_EQ(msgs.size(), reference.size()) << "at " << to_string(p);
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(msgs[i].source, reference[i].source) << "pos " << i;
+      EXPECT_EQ(msgs[i].seq, reference[i].seq) << "pos " << i;
+    }
+  }
+
+  // Ordering must RESUME under the new leader — the regression this test
+  // pins is a post-install grant stall.
+  h.clear_events();
+  std::uint64_t post = 0;
+  for (ProcessorId p : survivors) {
+    h.stack(p).group(kGroup)->send_regular(h.now(), test_conn(), 100 + ++post,
+                                           bytes_of(to_string(p) + "-post"));
+  }
+  h.run_for(500 * kMillisecond);
+  expect_same_order(h, survivors, std::size_t(post), "post-failover order");
+}
+
+// Back-to-back failovers walk the leadership down the id order and keep
+// every survivor's ledger a common prefix.
+TEST(Llft, SecondFailoverHandsLeadershipDownAgain) {
+  SimHarness h({}, 74);
+  const auto all = ids({1, 2, 3, 4, 5});
+  for (ProcessorId p : all) h.add_processor(p, kDomain, kDomainAddr, llft_config());
+  for (ProcessorId p : all) h.stack(p).create_group(h.now(), kGroup, kGroupAddr, all);
+  h.run_for(50 * kMillisecond);
+
+  h.network().set_partition({ids({1})});
+  auto wait_members = [&](const std::vector<ProcessorId>& want) {
+    return h.run_until_pred(
+        [&] {
+          for (ProcessorId p : want) {
+            auto* g = h.stack(p).group(kGroup);
+            if (!g || g->membership().members != want) return false;
+          }
+          return true;
+        },
+        h.now() + 10 * kSecond);
+  };
+  ASSERT_TRUE(wait_members(ids({2, 3, 4, 5})));
+  EXPECT_TRUE(engine(h, ProcessorId{2}).leading());
+
+  h.clear_events();
+  std::uint64_t req = 0;
+  for (ProcessorId p : ids({2, 3, 4, 5})) {
+    h.stack(p).group(kGroup)->send_regular(h.now(), test_conn(), ++req,
+                                           bytes_of(to_string(p) + "-era2"));
+  }
+  h.run_for(500 * kMillisecond);
+  expect_same_order(h, ids({2, 3, 4, 5}), std::size_t(req), "era2");
+
+  h.network().set_partition({ids({1, 2})});
+  ASSERT_TRUE(wait_members(ids({3, 4, 5})));
+  for (ProcessorId p : ids({3, 4, 5})) {
+    EXPECT_EQ(engine(h, p).leader(), ProcessorId{3}) << "at " << to_string(p);
+  }
+
+  h.clear_events();
+  req = 0;
+  for (ProcessorId p : ids({3, 4, 5})) {
+    h.stack(p).group(kGroup)->send_regular(h.now(), test_conn(), 200 + ++req,
+                                           bytes_of(to_string(p) + "-era3"));
+  }
+  h.run_for(500 * kMillisecond);
+  expect_same_order(h, ids({3, 4, 5}), std::size_t(req), "era3");
+}
+
+// A rejoining member defers leadership for one view (kJoinPending, then a
+// joined-epoch equal to the admitting view): the standing leader keeps
+// granting, the joiner applies its floor advisory instead of re-ordering
+// pre-join backlog, and traffic keeps flowing end to end.
+TEST(Llft, RejoiningSmallestIdDefersLeadershipAndCatchesUp) {
+  SimHarness h({}, 75);
+  const auto all = ids({1, 2, 3, 4});
+  for (ProcessorId p : all) h.add_processor(p, kDomain, kDomainAddr, llft_config());
+  for (ProcessorId p : all) h.stack(p).create_group(h.now(), kGroup, kGroupAddr, all);
+  h.run_for(50 * kMillisecond);
+
+  // Kill the leader; survivors reconcile and continue under P2.
+  h.network().set_partition({ids({1})});
+  const auto survivors = ids({2, 3, 4});
+  ASSERT_TRUE(h.run_until_pred(
+      [&] {
+        for (ProcessorId p : survivors) {
+          auto* g = h.stack(p).group(kGroup);
+          if (!g || g->membership().members != survivors) return false;
+        }
+        return true;
+      },
+      h.now() + 10 * kSecond));
+
+  std::uint64_t req = 0;
+  for (ProcessorId p : survivors) {
+    h.stack(p).group(kGroup)->send_regular(h.now(), test_conn(), ++req,
+                                           bytes_of(to_string(p) + "-mid"));
+  }
+  h.run_for(300 * kMillisecond);
+
+  // Heal and re-admit P1 (the smallest id). It must NOT reclaim leadership
+  // in the view that admits it — only at the next view change.
+  h.network().heal();
+  ASSERT_TRUE(h.stack(ProcessorId{1}).drop_group(kGroup));
+  h.stack(ProcessorId{1}).expect_join(kGroup, kGroupAddr);
+  ASSERT_TRUE(h.stack(ProcessorId{2}).add_processor(h.now(), kGroup, ProcessorId{1}));
+  ASSERT_TRUE(h.run_until_pred(
+      [&] {
+        auto* sponsor = h.stack(ProcessorId{2}).group(kGroup);
+        auto* joiner = h.stack(ProcessorId{1}).group(kGroup);
+        return sponsor && sponsor->is_member(ProcessorId{1}) && joiner &&
+               joiner->is_member(ProcessorId{1});
+      },
+      h.now() + 5 * kSecond));
+  h.run_for(200 * kMillisecond);
+  for (ProcessorId p : all) {
+    EXPECT_EQ(engine(h, p).leader(), ProcessorId{2})
+        << "rejoined smallest id must defer leadership, at " << to_string(p);
+  }
+
+  // Traffic still orders across all four members under the standing leader.
+  h.clear_events();
+  std::uint64_t post = 0;
+  for (ProcessorId p : all) {
+    h.stack(p).group(kGroup)->send_regular(h.now(), test_conn(), 300 + ++post,
+                                           bytes_of(to_string(p) + "-re"));
+  }
+  h.run_for(500 * kMillisecond);
+  expect_same_order(h, all, std::size_t(post), "post-rejoin order");
+}
+
+}  // namespace
+}  // namespace ftcorba::ftmp

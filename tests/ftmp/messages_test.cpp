@@ -1,9 +1,11 @@
-// Unit tests for the twelve FTMP message body codecs (§5–§7 plus the
-// state-transfer frames of docs/RECOVERY.md), including a parameterized
-// round-trip sweep over both byte orders.
+// Unit tests for the thirteen FTMP message body codecs (§5–§7 plus the
+// state-transfer frames of docs/RECOVERY.md and the LLFT OrderInfo
+// grants of docs/ORDERING.md), including a parameterized round-trip
+// sweep over both byte orders.
 #include <gtest/gtest.h>
 
 #include "ftmp/messages.hpp"
+#include "ftmp/wire.hpp"
 
 namespace ftcorba::ftmp {
 namespace {
@@ -73,6 +75,13 @@ std::vector<Message> sample_messages(ByteOrder order) {
   }
   out.push_back({header_for(MessageType::kStateDigest, order),
                  StateDigestBody{0xDEADBEEFCAFEF00Dull, 0x0123456789ABCDEFull}});
+  {
+    OrderInfoBody b;
+    b.view_ts = 901;
+    b.floors = {{ProcessorId{1}, 40}, {ProcessorId{3}, 12}};
+    b.grants = {{ProcessorId{2}, 41}, {ProcessorId{1}, 41}, {ProcessorId{2}, 42}};
+    out.push_back({header_for(MessageType::kOrderInfo, order), b});
+  }
   return out;
 }
 
@@ -98,6 +107,31 @@ INSTANTIATE_TEST_SUITE_P(BothOrders, MessagesRoundTrip,
                            return info.param == ByteOrder::kBig ? "BigEndian"
                                                                 : "LittleEndian";
                          });
+
+// Pins the OrderInfo (type 13) body bytes exactly — docs/WIRE.md §3:
+// u64 view timestamp, then the floors and grants sequences, each a u32
+// count followed by (u32 processor, u64 seq) entries.
+TEST(Messages, OrderInfoGoldenBodyBytes) {
+  OrderInfoBody b;
+  b.view_ts = 901;
+  b.floors = {{ProcessorId{1}, 40}};
+  b.grants = {{ProcessorId{2}, 41}, {ProcessorId{1}, 41}};
+  const Bytes wire =
+      encode_message({header_for(MessageType::kOrderInfo, ByteOrder::kBig), b});
+  const Bytes expected = {
+      // view_ts = 901
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x85,
+      // floors: count 1, (P1, 40)
+      0x00, 0x00, 0x00, 0x01,
+      0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x28,
+      // grants: count 2, (P2, 41), (P1, 41)
+      0x00, 0x00, 0x00, 0x02,
+      0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x29,
+      0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x29,
+  };
+  ASSERT_EQ(wire.size(), kHeaderSize + expected.size());
+  EXPECT_EQ(Bytes(wire.begin() + kHeaderSize, wire.end()), expected);
+}
 
 TEST(Messages, TypeOfMatchesAlternative) {
   for (const Message& m : sample_messages(ByteOrder::kBig)) {

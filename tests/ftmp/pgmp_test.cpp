@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "ftmp/pgmp.hpp"
+#include "ftmp/romp.hpp"
 
 namespace ftcorba::ftmp {
 namespace {

@@ -98,7 +98,7 @@ TEST(Wire, BadTypeRejected) {
   b[12] = 0;  // type field (after magic4 + ver2 + order1 + retrans1 + size4)
   Reader r(b);
   EXPECT_THROW((void)decode_header(r), CodecError);
-  b[12] = 13;  // one past kStateDigest, the highest assigned type
+  b[12] = 14;  // one past kOrderInfo, the highest assigned type
   Reader r2(b);
   EXPECT_THROW((void)decode_header(r2), CodecError);
 }
@@ -246,8 +246,8 @@ TEST(WireGolden, TryDecodeHeaderErrorWordingMatchesReader) {
   EXPECT_EQ(try_decode_header(bad_order).error, "bad byte-order flag");
 
   Bytes bad_type = b;
-  bad_type[kTypeFieldOffset] = 13;
-  EXPECT_EQ(try_decode_header(bad_type).error, "bad message type 13");
+  bad_type[kTypeFieldOffset] = 14;
+  EXPECT_EQ(try_decode_header(bad_type).error, "bad message type 14");
 
   Bytes truncated(b.begin(), b.begin() + 10);
   EXPECT_FALSE(try_decode_header(truncated));
@@ -255,10 +255,10 @@ TEST(WireGolden, TryDecodeHeaderErrorWordingMatchesReader) {
 
 TEST(Wire, AllTypeNamesDistinct) {
   std::set<std::string> names;
-  for (int t = 1; t <= 12; ++t) {
+  for (int t = 1; t <= 13; ++t) {
     names.insert(to_string(static_cast<MessageType>(t)));
   }
-  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.size(), 13u);
   EXPECT_EQ(std::string(to_string(MessageType::kHeartbeat)), "Heartbeat");
   EXPECT_EQ(std::string(to_string(MessageType::kStateChunk)), "StateChunk");
 }

@@ -140,6 +140,66 @@ TEST(ShardedRuntime, InlineModeDeliversThroughThePassthrough) {
   EXPECT_TRUE(std::find(subs.begin(), subs.end(), addr) != subs.end());
 }
 
+// The ordering engine is a per-stack Config choice, so a runtime shard
+// running LLFT (docs/ORDERING.md) needs no runtime-layer support: grants
+// flow through the same ingest/egress path as every reliable message.
+// Three members (one behind the runtime) exchange messages under
+// ordering_mode = llft and must converge on one delivery order.
+TEST(ShardedRuntime, InlineModeDeliversUnderLlftOrdering) {
+  const ProcessorGroupId group{1};
+  const McastAddress addr{200};
+  const std::vector<ProcessorId> members{ProcessorId{1}, ProcessorId{2},
+                                         ProcessorId{3}};
+  ftmp::Config cfg = patient_config();
+  cfg.ordering_mode = ftmp::OrderingMode::kLlft;
+  ShardedRuntime rt(ProcessorId{1}, kDomain, kDomainAddr, cfg);
+  ftmp::Stack p2(ProcessorId{2}, kDomain, kDomainAddr, cfg);
+  ftmp::Stack p3(ProcessorId{3}, kDomain, kDomainAddr, cfg);
+
+  TimePoint now = 1 * kMillisecond;
+  rt.create_group(now, group, addr, members);
+  p2.create_group(now, group, addr, members);
+  p3.create_group(now, group, addr, members);
+
+  const ConnectionId conn{FtDomainId{1}, ObjectGroupId{10}, FtDomainId{1},
+                          ObjectGroupId{20}};
+  ASSERT_TRUE(rt.stack(0).group(group)->send_regular(now, conn, 1,
+                                                     bytes_of("from-p1")));
+  ASSERT_TRUE(p2.group(group)->send_regular(now, conn, 2, bytes_of("from-p2")));
+  ASSERT_TRUE(p3.group(group)->send_regular(now, conn, 3, bytes_of("from-p3")));
+
+  std::vector<Bytes> order_rt, order_p2, order_p3;
+  auto collect = [](std::vector<ftmp::Event> events, std::vector<Bytes>& out) {
+    for (ftmp::Event& ev : events) {
+      if (auto* d = std::get_if<ftmp::DeliveredMessage>(&ev)) {
+        out.push_back(Bytes(d->giop_message.begin(), d->giop_message.end()));
+      }
+    }
+  };
+  for (int step = 0; step < 200; ++step) {
+    now += 1 * kMillisecond;
+    rt.tick(now);
+    p2.tick(now);
+    p3.tick(now);
+    std::vector<net::Datagram> wire;
+    rt.drain_egress(wire);
+    for (auto& d : p2.take_packets()) wire.push_back(std::move(d));
+    for (auto& d : p3.take_packets()) wire.push_back(std::move(d));
+    for (const net::Datagram& d : wire) {
+      rt.ingest(now, d);
+      p2.on_datagram(now, d);
+      p3.on_datagram(now, d);
+    }
+    collect(rt.take_events(), order_rt);
+    collect(p2.take_events(), order_p2);
+    collect(p3.take_events(), order_p3);
+  }
+  ASSERT_EQ(order_rt.size(), 3u) << "all three sends deliver at the runtime";
+  EXPECT_EQ(order_rt, order_p2) << "leader-granted order agrees everywhere";
+  EXPECT_EQ(order_rt, order_p3) << "leader-granted order agrees everywhere";
+  EXPECT_EQ(rt.delivered_total(), 3u);
+}
+
 TEST(ShardedRuntime, ThreadedLifecycleStartsTicksAndDrains) {
   RuntimeConfig cfg;
   cfg.shards = 2;

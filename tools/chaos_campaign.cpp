@@ -43,6 +43,8 @@ void print_usage() {
                "  --faults N        scheduled fault count (default 10)\n"
                "  --batch BYTES     force egress batching on with this datagram\n"
                "                    byte budget (default 0 = batching off)\n"
+               "  --ordering MODE   total-ordering engine: lamport (default) or\n"
+               "                    llft (leader-stamped slots, docs/ORDERING.md)\n"
                "\n"
                "output / checking:\n"
                "  --repeat K        run each seed K times and require identical\n"
@@ -64,6 +66,7 @@ struct Options {
   std::uint64_t start_seed = 1;
   chaos::ScheduleParams params;
   std::size_t batch_max_datagram_bytes = 0;
+  OrderingMode ordering_mode = OrderingMode::kLamport;
   std::size_t repeat = 1;
   std::string trace_path;
   std::string json_path;
@@ -125,6 +128,9 @@ bool parse_options(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (!v || !parse_u64(v, n)) return false;
       opt.batch_max_datagram_bytes = std::size_t(n);
+    } else if (arg == "--ordering") {
+      const char* v = value();
+      if (!v || !parse_ordering_mode(v, opt.ordering_mode)) return false;
     } else if (arg == "--repeat") {
       const char* v = value();
       if (!v || !parse_u64(v, n) || n == 0) return false;
@@ -164,13 +170,13 @@ bool parse_options(int argc, char** argv, Options& opt) {
 }
 
 std::string repro_command(const Options& opt, std::uint64_t seed) {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof buf,
                 "chaos_campaign --seed %" PRIu64 " --procs %u --duration %" PRIu64
-                " --faults %zu --trace chaos_%" PRIu64 ".trace -v",
+                " --faults %zu --ordering %s --trace chaos_%" PRIu64 ".trace -v",
                 seed, opt.params.processors,
                 std::uint64_t(opt.params.duration / kMillisecond),
-                opt.params.faults, seed);
+                opt.params.faults, to_string(opt.ordering_mode), seed);
   return buf;
 }
 
@@ -219,6 +225,7 @@ int main(int argc, char** argv) {
     cfg.trace_path = opt.trace_path;
     cfg.verbose = opt.verbose;
     cfg.batch_max_datagram_bytes = opt.batch_max_datagram_bytes;
+    cfg.ordering_mode = opt.ordering_mode;
     if (opt.print_schedule) {
       std::printf("%s", chaos::generate_schedule(seed, opt.params).to_string().c_str());
     }
@@ -284,7 +291,8 @@ int main(int argc, char** argv) {
         violations += "\"";
       }
       std::fprintf(out,
-                   "  {\"seed\": %" PRIu64 ", \"ok\": %s, \"digest\": \"%016" PRIx64
+                   "  {\"seed\": %" PRIu64 ", \"ok\": %s, \"ordering\": \"%s\""
+                   ", \"digest\": \"%016" PRIx64
                    "\", \"procs\": %u, \"duration_ms\": %" PRIu64
                    ", \"faults_scheduled\": %zu, \"faults_applied\": %" PRIu64
                    ", \"messages_sent\": %" PRIu64 ", \"deliveries\": %" PRIu64
@@ -295,7 +303,8 @@ int main(int argc, char** argv) {
                    ", \"state_restarts\": %" PRIu64
                    ", \"state_digest_mismatches\": %" PRIu64
                    ", \"violations\": [%s]}%s\n",
-                   r.seed, r.ok() ? "true" : "false", r.digest,
+                   r.seed, r.ok() ? "true" : "false",
+                   to_string(opt.ordering_mode), r.digest,
                    opt.params.processors,
                    std::uint64_t(opt.params.duration / kMillisecond),
                    r.schedule.faults.size(), r.faults_applied, r.messages_sent,

@@ -197,6 +197,19 @@ int inspect_one(const Bytes& datagram) {
       std::printf("    cut              %s: %llu\n", to_string(ss.processor).c_str(),
                   static_cast<unsigned long long>(ss.seq));
     }
+  } else if (const auto* oi = std::get_if<ftmp::OrderInfoBody>(&msg.body)) {
+    std::printf("    view ts          %llu  (grant epoch)\n",
+                static_cast<unsigned long long>(oi->view_ts));
+    for (const auto& ss : oi->floors) {
+      std::printf("    floor            %s: %llu  (delivered-floor advisory)\n",
+                  to_string(ss.processor).c_str(),
+                  static_cast<unsigned long long>(ss.seq));
+    }
+    for (const auto& ss : oi->grants) {
+      std::printf("    grant            %s: %llu\n",
+                  to_string(ss.processor).c_str(),
+                  static_cast<unsigned long long>(ss.seq));
+    }
   } else if (const auto* dig = std::get_if<ftmp::StateDigestBody>(&msg.body)) {
     std::printf("    fingerprint      %016llx  (position: hashed applied watermarks)\n",
                 static_cast<unsigned long long>(dig->fingerprint));
@@ -258,9 +271,9 @@ int replay_invariants(const std::string& path) {
                  r.parse_error.empty() ? "unreadable trace" : r.parse_error.c_str());
     return 2;
   }
-  std::printf("chaos trace %s: seed %llu, %llu records replayed\n", path.c_str(),
-              static_cast<unsigned long long>(r.seed),
-              static_cast<unsigned long long>(r.records));
+  std::printf("chaos trace %s: seed %llu, ordering %s, %llu records replayed\n",
+              path.c_str(), static_cast<unsigned long long>(r.seed),
+              r.ordering.c_str(), static_cast<unsigned long long>(r.records));
   for (const ftmp::chaos::Violation& v : r.violations) {
     std::printf("  [%8.0fms] %s at %s: %s\n", double(v.at) / kMillisecond,
                 ftmp::chaos::to_string(v.kind), to_string(v.processor).c_str(),
