@@ -13,6 +13,13 @@ namespace {
 // has no fragmentation path.
 constexpr std::size_t kMaxGrantsPerBody = 96;
 
+// Bound on buffered future-view OrderInfo bodies (total across views). A
+// healthy follower is at most a few installs behind the issuing leader, so
+// anything approaching this cap is a partitioned or misbehaving peer
+// tagging grants with ever-higher views — which must not grow memory
+// without limit.
+constexpr std::size_t kMaxFutureBodies = 256;
+
 [[nodiscard]] bool is_membership_change(MessageType t) {
   return t == MessageType::kAddProcessor || t == MessageType::kRemoveProcessor;
 }
@@ -37,6 +44,10 @@ LlftOrdering::LlftOrdering(ProcessorId self, const Config& config)
       "ftmp_ordering_stale_grants_total",
       "Grants dropped because their view tag named a superseded view", "grants",
       "ordering");
+  llft_metrics_.future_dropped = metrics::counter(
+      "ftmp_ordering_future_dropped_total",
+      "Future-view OrderInfo bodies dropped at the bounded buffer cap",
+      "bodies", "ordering");
   llft_metrics_.truncations = metrics::counter(
       "ftmp_ordering_truncations_total",
       "Slots truncated at fault installs (referenced message beyond the cut)",
@@ -103,15 +114,6 @@ void LlftOrdering::note_joined_epoch(ProcessorId member, Timestamp epoch) {
   recompute_granter();
 }
 
-void LlftOrdering::erase_held(ProcessorId src, SeqNum seq) {
-  auto hs = held_.find(src);
-  if (hs == held_.end()) return;
-  if (hs->second.erase(seq) > 0) {
-    --held_count_;
-    metrics_.pending.add(-1);
-  }
-}
-
 void LlftOrdering::apply_floors(const std::vector<SourceSeq>& floors) {
   for (const SourceSeq& f : floors) {
     SeqNum& fl = floor_[f.processor];
@@ -165,7 +167,19 @@ void LlftOrdering::consume_order_info(ProcessorId from, const OrderInfoBody& bod
   } else if (body.view_ts > epoch_) {
     // Issued under a view we have not installed yet (the issuer is ahead of
     // us): buffer until our own install decides whether it is the leader.
+    // Bounded: legitimate racing grants sit at the lowest buffered tags
+    // (the issuer is at most a few installs ahead), so at the cap the
+    // highest-tagged body goes first.
+    if (future_count_ >= kMaxFutureBodies) {
+      llft_metrics_.future_dropped.add();
+      auto last = std::prev(future_.end());
+      if (body.view_ts >= last->first) return;
+      last->second.pop_back();
+      if (last->second.empty()) future_.erase(last);
+      --future_count_;
+    }
     future_[body.view_ts].emplace_back(from, body);
+    ++future_count_;
   } else {
     llft_metrics_.stale_grants.add(
         body.grants.empty() ? 1 : body.grants.size());
@@ -228,6 +242,7 @@ void LlftOrdering::set_view(Timestamp view_ts) {
             body.grants.empty() ? 1 : body.grants.size());
       }
     }
+    future_count_ -= it->second.size();
     it = future_.erase(it);
   }
   if (leading()) {

@@ -86,6 +86,10 @@ class LlftOrdering : public Romp {
     return have_granter_ && granter_ == self_;
   }
 
+  /// Future-view OrderInfo bodies currently buffered (bounded; exposed for
+  /// tests).
+  [[nodiscard]] std::size_t future_buffered() const { return future_count_; }
+
  private:
   struct HeldEntry {
     Frame frame;
@@ -113,7 +117,6 @@ class LlftOrdering : public Romp {
   /// decided it is next in the total order.
   Frame deliver_held(ProcessorId src, std::map<SeqNum, HeldEntry>::iterator it,
                      TimePoint now, TimePoint granted_at);
-  void erase_held(ProcessorId src, SeqNum seq);
 
   // Process-global instruments shared by every LLFT instance
   // (docs/METRICS.md).
@@ -122,6 +125,7 @@ class LlftOrdering : public Romp {
     metrics::CounterHandle leader_changes;
     metrics::CounterHandle grants;
     metrics::CounterHandle stale_grants;
+    metrics::CounterHandle future_dropped;
     metrics::CounterHandle truncations;
     metrics::HistogramHandle stamp_wait_ms;
     metrics::HistogramHandle slot_wait_ms;
@@ -155,8 +159,10 @@ class LlftOrdering : public Romp {
   // ---- slot machine ----
   std::deque<Slot> slots_;
   // Grants tagged for a future view, keyed by view timestamp; consumed (or
-  // discarded) when that view installs.
+  // discarded) when that view installs. Bounded by kMaxFutureBodies
+  // (future_count_ tracks the total across views).
   std::map<Timestamp, std::vector<std::pair<ProcessorId, OrderInfoBody>>> future_;
+  std::size_t future_count_ = 0;
   // Grants queued by this member as leader, all tagged with the current
   // epoch (set_view clears and re-sweeps, so no mixed tags).
   std::vector<SourceSeq> pending_grants_;

@@ -236,7 +236,15 @@ void Pgmp::on_add_ordered(TimePoint now, const Message& msg) {
     metrics_.add_install_ms.observe(to_ms(now - af->second));
     adds_in_flight_.erase(af);
   }
-  if (contains(membership_.members, member)) return;  // duplicate
+  if (contains(membership_.members, member)) {
+    // Duplicate (e.g. two sponsors raced to add the same joiner): the
+    // member set is unchanged, but the ordering engine must still see the
+    // change slot resolve — the LLFT leader suspends granting the moment
+    // it grants a membership change and only a view notification resumes
+    // it (Romp's set_view is a no-op, so Lamport traces are untouched).
+    romp_.set_view(membership_.timestamp);
+    return;
+  }
   membership_.members = sorted([&] {
     auto ms = membership_.members;
     ms.push_back(member);
@@ -311,7 +319,12 @@ void Pgmp::on_add_ordered(TimePoint now, const Message& msg) {
 void Pgmp::on_remove_ordered(TimePoint now, const Message& msg) {
   const auto& body = std::get<RemoveProcessorBody>(msg.body);
   const ProcessorId member = body.member_to_remove;
-  if (!contains(membership_.members, member)) return;
+  if (!contains(membership_.members, member)) {
+    // Duplicate (concurrent removes of the same member): no-op for the
+    // member set, but resume the ordering engine — see on_add_ordered.
+    romp_.set_view(membership_.timestamp);
+    return;
+  }
   membership_.members.erase(
       std::remove(membership_.members.begin(), membership_.members.end(), member),
       membership_.members.end());

@@ -292,5 +292,131 @@ TEST(Llft, RejoiningSmallestIdDefersLeadershipAndCatchesUp) {
   expect_same_order(h, all, std::size_t(post), "post-rejoin order");
 }
 
+// Two sponsors race to add the same joiner: both AddProcessor messages
+// reach their ordering points, the second one is a membership no-op. The
+// leader suspends granting at every membership-change slot it grants, so
+// the duplicate must still resume it (regression: a duplicate used to
+// return early without set_view, leaving the leader suspended forever and
+// stalling totally-ordered delivery group-wide).
+TEST(Llft, DuplicateAddFromRacingSponsorsDoesNotStallGranting) {
+  SimHarness h({}, 76);
+  const auto founders = ids({1, 2, 3, 4});
+  for (ProcessorId p : founders) {
+    h.add_processor(p, kDomain, kDomainAddr, llft_config());
+  }
+  for (ProcessorId p : founders) {
+    h.stack(p).create_group(h.now(), kGroup, kGroupAddr, founders);
+  }
+  h.run_for(50 * kMillisecond);
+  ASSERT_TRUE(engine(h, ProcessorId{1}).leading());
+
+  const ProcessorId joiner{5};
+  const auto all = ids({1, 2, 3, 4, 5});
+  h.add_processor(joiner, kDomain, kDomainAddr, llft_config());
+  h.stack(joiner).expect_join(kGroup, kGroupAddr);
+  // Same instant, two different sponsors (each one's local in-flight
+  // bookkeeping cannot see the other's Add).
+  ASSERT_TRUE(h.stack(ProcessorId{2}).add_processor(h.now(), kGroup, joiner));
+  ASSERT_TRUE(h.stack(ProcessorId{3}).add_processor(h.now(), kGroup, joiner));
+  ASSERT_TRUE(h.run_until_pred(
+      [&] {
+        for (ProcessorId p : all) {
+          auto* g = h.stack(p).group(kGroup);
+          if (!g || g->membership().members != all) return false;
+        }
+        return true;
+      },
+      h.now() + 5 * kSecond));
+  h.run_for(200 * kMillisecond);
+
+  // The regression: after the duplicate Add resolved, the leader must
+  // still grant — traffic from every member orders and delivers.
+  h.clear_events();
+  std::uint64_t req = 0;
+  for (ProcessorId p : all) {
+    h.stack(p).group(kGroup)->send_regular(h.now(), test_conn(), 400 + ++req,
+                                           bytes_of(to_string(p) + "-dup"));
+  }
+  h.run_for(500 * kMillisecond);
+  expect_same_order(h, all, std::size_t(req), "post-duplicate-add order");
+}
+
+// Concurrent removes of the same member: the second RemoveProcessor orders
+// as a membership no-op and must resume the leader's granting, same
+// regression as the duplicate Add above.
+TEST(Llft, DuplicateRemoveDoesNotStallGranting) {
+  SimHarness h({}, 77);
+  const auto all = ids({1, 2, 3, 4});
+  for (ProcessorId p : all) h.add_processor(p, kDomain, kDomainAddr, llft_config());
+  for (ProcessorId p : all) h.stack(p).create_group(h.now(), kGroup, kGroupAddr, all);
+  h.run_for(50 * kMillisecond);
+  ASSERT_TRUE(engine(h, ProcessorId{1}).leading());
+
+  // Same instant, two different members remove P4 (both see it as a member
+  // when they issue the Remove).
+  ASSERT_TRUE(h.stack(ProcessorId{2}).remove_processor(h.now(), kGroup,
+                                                       ProcessorId{4}));
+  ASSERT_TRUE(h.stack(ProcessorId{3}).remove_processor(h.now(), kGroup,
+                                                       ProcessorId{4}));
+  const auto survivors = ids({1, 2, 3});
+  ASSERT_TRUE(h.run_until_pred(
+      [&] {
+        for (ProcessorId p : survivors) {
+          auto* g = h.stack(p).group(kGroup);
+          if (!g || g->membership().members != survivors) return false;
+        }
+        return true;
+      },
+      h.now() + 5 * kSecond));
+  h.run_for(200 * kMillisecond);
+
+  h.clear_events();
+  std::uint64_t req = 0;
+  for (ProcessorId p : survivors) {
+    h.stack(p).group(kGroup)->send_regular(h.now(), test_conn(), 500 + ++req,
+                                           bytes_of(to_string(p) + "-dup"));
+  }
+  h.run_for(500 * kMillisecond);
+  expect_same_order(h, survivors, std::size_t(req), "post-duplicate-remove order");
+}
+
+// The future-view grant buffer is bounded: a peer tagging OrderInfo with
+// ever-higher view timestamps saturates the cap instead of growing memory,
+// eviction sheds the highest tags first, and a legitimately-low future tag
+// is still admitted and drained by the install that reaches it.
+TEST(Llft, FutureViewGrantBufferIsBounded) {
+  constexpr std::size_t kCap = 256;  // kMaxFutureBodies in llft.cpp
+  Config cfg = llft_config();
+  LlftOrdering eng(ProcessorId{2}, cfg);
+  eng.set_members(ids({1, 2}));
+
+  auto order_info = [](SeqNum seq, Timestamp view_ts) {
+    Message m;
+    m.header.type = MessageType::kOrderInfo;
+    m.header.source = ProcessorId{1};
+    m.header.sequence_number = seq;
+    m.header.message_timestamp = Timestamp{seq};
+    OrderInfoBody b;
+    b.view_ts = view_ts;
+    b.grants.push_back({ProcessorId{1}, seq});
+    m.body = std::move(b);
+    return Frame{m.header, encode_message(m)};
+  };
+
+  SeqNum seq = 0;
+  for (std::size_t i = 0; i < kCap + 50; ++i) {
+    eng.on_source_ordered(order_info(++seq, 1000 + Timestamp{i}));
+  }
+  EXPECT_EQ(eng.future_buffered(), kCap) << "cap must hold under flood";
+
+  // A low future tag (the one a real racing leader would use) evicts a
+  // high one instead of being refused.
+  eng.on_source_ordered(order_info(++seq, 5));
+  EXPECT_EQ(eng.future_buffered(), kCap);
+  eng.set_view(5);
+  EXPECT_EQ(eng.future_buffered(), kCap - 1)
+      << "install must drain exactly the admitted low-tagged body";
+}
+
 }  // namespace
 }  // namespace ftcorba::ftmp
